@@ -1,0 +1,42 @@
+// Figure 7: breakdown of PB-SYM's runtime into memory initialization and
+// kernel computation. The paper's observation to reproduce: Flu instances
+// are initialization-dominated (sparse events over a huge domain), while
+// PollenUS Hr / eBird are compute-dominated.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace stkde;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner("Figure 7 — PB-SYM runtime breakdown (init vs compute)",
+                      env);
+
+  util::Table t({"Instance", "init (s)", "compute (s)", "total (s)",
+                 "init frac", "bar"});
+  for (const auto& spec : data::laptop_catalog(env.budget)) {
+    const data::Instance& inst = bench::load_instance(spec);
+    const Params params = bench::instance_params(inst, 1);
+    const Result r = estimate(inst.points, inst.domain, params,
+                              Algorithm::kPBSym);
+    const double init = r.phases.seconds(phase::kInit);
+    const double compute = r.phases.seconds(phase::kCompute);
+    const double total = init + compute;
+    const double frac = total > 0.0 ? init / total : 0.0;
+    std::string bar(static_cast<std::size_t>(frac * 30.0 + 0.5), 'I');
+    bar.resize(30, '.');
+    t.row()
+        .cell(spec.name)
+        .cell(init, 4)
+        .cell(compute, 4)
+        .cell(total, 4)
+        .cell(frac, 3)
+        .cell(bar);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n[bar: I = init share, . = compute share]\n";
+  t.print(std::cout);
+  return 0;
+}

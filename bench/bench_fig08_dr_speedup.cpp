@@ -1,0 +1,65 @@
+// Figure 8: speedup of PB-SYM-DR for 1..16 threads. Shapes to reproduce:
+// init-heavy instances (Flu, high-res Dengue) get speedup < 1 — the threads
+// spend their time initializing and reducing P grid replicas; only the most
+// compute-dense instances (PollenUS Hr-*b, eBird Lr) exceed 8x; Flu Hr and
+// eBird Hr run out of memory ("OOM") at higher thread counts.
+//
+// Methodology: one real DR run at the host thread count validates the
+// implementation and measures phases; per-P speedups come from the phase
+// model over measured sequential times (DESIGN.md §2). The memory budget is
+// scaled to the paper's machine: the paper had 128 GB against a 20 GB grid;
+// we apply a budget of 24x the largest laptop grid so the same instances OOM.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/memory.hpp"
+
+using namespace stkde;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner("Figure 8 — PB-SYM-DR speedup vs thread count", env);
+
+  util::Table t({"Instance", "seq PB-SYM (s)", "real DR (s)", "S(1)", "S(2)",
+                 "S(4)", "S(8)", "S(16)"});
+  for (const auto& spec : data::laptop_catalog(env.budget)) {
+    const data::Instance& inst = bench::load_instance(spec);
+    // Sequential reference (PB-SYM) for both speedup and the phase model.
+    const Result seq = estimate(inst.points, inst.domain,
+                                bench::instance_params(inst, 1),
+                                Algorithm::kPBSym);
+    bench::PhaseModel model;
+    model.init_seq = seq.phases.seconds(phase::kInit);
+    model.compute_seq = seq.phases.seconds(phase::kCompute);
+    model.mem_cap = env.memory_parallel_cap;
+    const double seq_s = seq.total_seconds();
+
+    auto& row = t.row().cell(spec.name).cell(seq_s, 3);
+    // Real DR run at the host's thread count (validates + measures).
+    try {
+      Params p = bench::instance_params(inst, env.real_threads);
+      const Result dr =
+          estimate(inst.points, inst.domain, p, Algorithm::kPBSymDR);
+      row.cell(dr.total_seconds(), 3);
+    } catch (const util::MemoryBudgetExceeded&) {
+      row.cell("OOM");
+    }
+    for (const int P : env.thread_sweep) {
+      // OOM verdicts are taken at paper scale (see common.hpp): P+1 grid
+      // replicas of the paper-sized instance must fit in 128 GB.
+      if (bench::paper_scale_oom(spec, spec.grid_bytes() * (P + 1ULL))) {
+        row.cell("OOM");
+        continue;
+      }
+      const double sim = bench::simulate_dr_seconds(model, P);
+      row.cell(seq_s / sim, 2);
+    }
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n[S(P) = simulated speedup over sequential PB-SYM from "
+               "measured phases; OOM = P+1 replicas of the paper-sized grid "
+               "exceed the paper machine's 128 GB]\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: single-thread overhead of PB-SYM-DD relative to PB-SYM for
+// decompositions 1^3 .. 64^3. Shapes to reproduce: mild decompositions can
+// be *faster* than PB-SYM (better cache fit — the paper sees -9.8% on
+// Flu Hr-Lb at 16^3); fine decompositions cost up to several x, worst on
+// high-bandwidth PollenUS instances (495% at 64^3), because every replicated
+// point recomputes its invariant tables.
+
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace stkde;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner(
+      "Figure 9 — PB-SYM-DD 1-thread overhead vs decomposition", env);
+
+  std::vector<std::string> headers = {"Instance"};
+  for (const auto d : bench::decomp_sweep())
+    headers.push_back(std::to_string(d) + "^3");
+  util::Table t(headers);
+
+  for (const auto& spec : data::laptop_catalog(env.budget)) {
+    const data::Instance& inst = bench::load_instance(spec);
+    const Result seq = estimate(inst.points, inst.domain,
+                                bench::instance_params(inst, 1),
+                                Algorithm::kPBSym);
+    const double base = seq.total_seconds();
+    auto& row = t.row().cell(spec.name);
+    for (const auto d : bench::decomp_sweep()) {
+      if (bench::dd_work_estimate(inst, spec, d) > env.max_cell_work) {
+        row.cell("-");  // like the paper skipping eBird Hr-Hb at 64^3
+        continue;
+      }
+      Params p = bench::instance_params(inst, 1);
+      p.decomp = DecompRequest{d, d, d};
+      const Result dd =
+          estimate(inst.points, inst.domain, p, Algorithm::kPBSymDD);
+      row.cell(base > 0.0 ? dd.total_seconds() / base : 0.0, 3);
+    }
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n[cells: DD(1 thread) time / PB-SYM time; < 1 = cache "
+               "win, > 1 = replication overhead; '-' = skipped as "
+               "prohibitively expensive]\n";
+  t.print(std::cout);
+  return 0;
+}

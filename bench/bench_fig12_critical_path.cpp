@@ -1,0 +1,65 @@
+// Figure 12: relative length of the critical path (Tinf / T1) of
+// PB-SYM-PD's parity coloring vs PB-SYM-PD-SCHED's load-aware greedy
+// coloring, at the 64^3 decomposition (clamped per instance). Shapes to
+// reproduce: most instances sit near ~10% (bounding speedup by ~6 via
+// Graham); PollenUS Hr-Hb is an outlier at ~55% (speedup < 1.6); SCHED
+// shortens the path marginally but consistently.
+//
+// As an ablation this bench also prints the smallest-last coloring order
+// (DESIGN.md §6.2).
+
+#include <iostream>
+
+#include "common.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/load.hpp"
+#include "sched/critical_path.hpp"
+
+using namespace stkde;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner(
+      "Figure 12 — relative critical path, PD vs PD-SCHED (64^3)", env);
+
+  util::Table t({"Instance", "decomp", "PD (parity)", "PD-SCHED (load)",
+                 "smallest-last", "colors", "Graham S(16) bound"});
+  for (const auto& spec : data::laptop_catalog(env.budget)) {
+    const data::Instance& inst = bench::load_instance(spec);
+    const VoxelMapper map(inst.domain);
+    const Decomposition dec = Decomposition::clamped(
+        inst.domain.dims(), DecompRequest{64, 64, 64}, spec.Hs, spec.Ht);
+    const PointBins bins = bin_by_owner(inst.points, map, dec);
+    const auto loads = point_count_loads(bins);
+    const sched::StencilGraph g = sched::StencilGraph::of(dec);
+
+    const auto parity = sched::parity_coloring(g);
+    const auto sched_col =
+        sched::greedy_coloring(g, sched::ColoringOrder::kLoadDescending, loads);
+    const auto sl =
+        sched::greedy_coloring(g, sched::ColoringOrder::kSmallestLast, loads);
+
+    const auto m_par = sched::critical_path(g, parity, loads);
+    const auto m_sch = sched::critical_path(g, sched_col, loads);
+    const auto m_sl = sched::critical_path(g, sl, loads);
+
+    auto rel = [&](const sched::DagMetrics& m) {
+      return m.total_work > 0.0 ? m.critical_path / m.total_work : 0.0;
+    };
+    t.row()
+        .cell(spec.name)
+        .cell(dec.to_string())
+        .cell(rel(m_par), 4)
+        .cell(rel(m_sch), 4)
+        .cell(rel(m_sl), 4)
+        .cell(static_cast<int>(sched_col.num_colors))
+        .cell(m_sch.speedup_bound(16), 2);
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n[cells: Tinf/T1 with vertex weight = points per "
+               "subdomain; lower is better; Graham bound = max speedup the "
+               "SCHED coloring permits at 16 threads]\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Figure 15: the best configuration of each parallel strategy per instance.
+// Shapes to reproduce (paper §6.5): Dengue favors PB-SYM-DD (low overhead,
+// good balance); PollenUS needs PB-SYM-PD-SCHED(-REP) for its clustering;
+// Flu is init-bound so DR loses badly and the rest tie; eBird favors
+// replication at low resolution and decomposition at high resolution.
+//
+// For each strategy we sweep the decomposition grid, simulate 16 threads
+// from measured task costs, and report the best. The winner per instance is
+// marked with '*'.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/load.hpp"
+#include "sched/replication.hpp"
+#include "sched/simulator.hpp"
+
+using namespace stkde;
+
+namespace {
+
+struct Best {
+  double speedup = 0.0;
+  std::string config;
+};
+
+void consider(Best& b, double speedup, const std::string& cfg) {
+  if (speedup > b.speedup) {
+    b.speedup = speedup;
+    b.config = cfg;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner(
+      "Figure 15 — best configuration of each parallel strategy", env);
+  const int P = 16;
+
+  util::Table t({"Instance", "DR", "DD", "PD", "PD-SCHED", "PD-SCHED-REP",
+                 "winner"});
+  for (const auto& spec : data::laptop_catalog(env.budget)) {
+    const data::Instance& inst = bench::load_instance(spec);
+    const VoxelMapper map(inst.domain);
+    const Result seq = estimate(inst.points, inst.domain,
+                                bench::instance_params(inst, 1),
+                                Algorithm::kPBSym);
+    const double base = seq.total_seconds();
+    const double init_seq = seq.phases.seconds(phase::kInit);
+    const double per_point =
+        inst.points.empty() ? 0.0
+                            : seq.phases.seconds(phase::kCompute) /
+                                  static_cast<double>(inst.points.size());
+    const double sec_per_voxel =
+        init_seq / static_cast<double>(inst.domain.dims().voxels());
+
+    Best dr, dd, pd, pdsched, pdschedrep;
+
+    // DR: phase model only (no decomposition to sweep).
+    {
+      bench::PhaseModel m;
+      m.init_seq = init_seq;
+      m.compute_seq = seq.phases.seconds(phase::kCompute);
+      m.mem_cap = env.memory_parallel_cap;
+      consider(dr, base / bench::simulate_dr_seconds(m, P), "16T");
+    }
+
+    for (const auto d : bench::decomp_sweep()) {
+      const DecompRequest req{d, d, d};
+      const std::string cfg = std::to_string(d) + "^3";
+
+      // DD: LPT over modeled task costs incl. table-recompute overhead.
+      if (bench::dd_work_estimate(inst, spec, d) <= env.max_cell_work) {
+        const Decomposition dec = Decomposition::uniform(inst.domain.dims(), req);
+        const PointBins bins =
+            bin_by_intersection(inst.points, map, dec, spec.Hs, spec.Ht);
+        const double side = 2.0 * spec.Hs + 1.0, depth = 2.0 * spec.Ht + 1.0;
+        const double table_frac = (side * side + depth) /
+                                  (side * side * depth);
+        std::vector<double> costs(bins.bins.size());
+        const double repl = bins.replication_factor(inst.points.size());
+        for (std::size_t v = 0; v < costs.size(); ++v)
+          costs[v] = static_cast<double>(bins.bins[v].size()) * per_point *
+                     (1.0 / repl + table_frac);
+        sched::Coloring one;
+        one.color.assign(costs.size(), 0);
+        one.num_colors = 1;
+        const double span =
+            sched::simulate_phased_schedule(one, costs, P).makespan;
+        consider(dd, base / (bench::mem_phase(init_seq, P,
+                                              env.memory_parallel_cap) +
+                             span),
+                 cfg);
+      }
+
+      // PD family: owner binning, then three schedules of the same loads.
+      const Decomposition dec = Decomposition::clamped(
+          inst.domain.dims(), req, spec.Hs, spec.Ht);
+      const auto loads =
+          point_count_loads(bin_by_owner(inst.points, map, dec));
+      const sched::StencilGraph g = sched::StencilGraph::of(dec);
+      std::vector<double> costs(loads.size());
+      for (std::size_t v = 0; v < costs.size(); ++v)
+        costs[v] = loads[v] * per_point;
+      const double overhead =
+          bench::mem_phase(init_seq, P, env.memory_parallel_cap);
+
+      const auto parity = sched::parity_coloring(g);
+      consider(pd,
+               base / (overhead +
+                       sched::simulate_phased_schedule(parity, costs, P)
+                           .makespan),
+               cfg);
+
+      const auto col = sched::greedy_coloring(
+          g, sched::ColoringOrder::kLoadDescending, loads);
+      consider(pdsched,
+               base / (overhead +
+                       sched::simulate_dag_schedule(g, col, costs, P, loads)
+                           .makespan),
+               cfg);
+
+      std::vector<double> reduce(loads.size());
+      const Extent3 whole = Extent3::whole(inst.domain.dims());
+      for (std::size_t v = 0; v < loads.size(); ++v)
+        reduce[v] = 2.0 *
+                    static_cast<double>(
+                        dec.subdomain(static_cast<std::int64_t>(v))
+                            .expanded(spec.Hs, spec.Ht)
+                            .intersect(whole)
+                            .volume()) *
+                    sec_per_voxel;
+      sched::ReplicationParams rp;
+      rp.P = P;
+      const auto plan = sched::plan_replication(g, col, costs, reduce, rp);
+      const auto eff = sched::effective_weights(costs, reduce, plan.factor);
+      consider(pdschedrep,
+               base / (overhead +
+                       sched::simulate_dag_schedule(g, col, eff, P, loads)
+                           .makespan),
+               cfg);
+    }
+
+    const Best* winner = &dr;
+    std::string winner_name = "DR";
+    for (const auto& [b, name] :
+         {std::pair<const Best*, const char*>{&dd, "DD"},
+          {&pd, "PD"},
+          {&pdsched, "PD-SCHED"},
+          {&pdschedrep, "PD-SCHED-REP"}}) {
+      if (b->speedup > winner->speedup) {
+        winner = b;
+        winner_name = name;
+      }
+    }
+    auto cell = [&](const Best& b) {
+      return util::format_fixed(b.speedup, 2) + " @" +
+             (b.config.empty() ? "-" : b.config);
+    };
+    t.row()
+        .cell(spec.name)
+        .cell(cell(dr))
+        .cell(cell(dd))
+        .cell(cell(pd))
+        .cell(cell(pdsched))
+        .cell(cell(pdschedrep))
+        .cell(winner_name + " (" + util::format_fixed(winner->speedup, 2) +
+              "x)");
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n\n[cells: best simulated 16-thread speedup over sequential "
+               "PB-SYM and the decomposition achieving it]\n";
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks of the kernel evaluation ladder (paper §3): direct
+// per-voxel evaluation (PB) vs hoisted invariants (PB-DISK/BAR/SYM), per
+// kernel type. These quantify the ~40-flop per-voxel cost the paper cites
+// and the payoff of the symmetry decomposition.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detail/scatter.hpp"
+#include "data/generator.hpp"
+
+using namespace stkde;
+
+namespace {
+
+struct Fixture {
+  DomainSpec dom{0, 0, 0, 96, 96, 96, 1.0, 1.0};
+  VoxelMapper map{dom};
+  DenseGrid3<float> grid{dom.dims()};
+  PointSet pts = data::generate_uniform(dom, 256, 5);
+  Extent3 whole = Extent3::whole(dom.dims());
+
+  Fixture() { grid.fill(0.0f); }
+};
+
+Fixture& fix() {
+  static Fixture f;
+  return f;
+}
+
+template <typename K>
+void BM_ScatterDirect(benchmark::State& state) {
+  auto& f = fix();
+  const K k;
+  const auto Hs = static_cast<std::int32_t>(state.range(0));
+  const auto Ht = std::max<std::int32_t>(1, Hs / 2);
+  for (auto _ : state) {
+    for (const Point& p : f.pts)
+      core::detail::scatter_direct(f.grid, f.whole, f.map, k, p,
+                                   static_cast<double>(Hs),
+                                   static_cast<double>(Ht), Hs, Ht, 1e-9);
+  }
+  const double per_point = (2.0 * Hs + 1) * (2.0 * Hs + 1) * (2.0 * Ht + 1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * per_point * static_cast<double>(f.pts.size())));
+}
+
+template <typename K>
+void BM_ScatterSym(benchmark::State& state) {
+  auto& f = fix();
+  const K k;
+  const auto Hs = static_cast<std::int32_t>(state.range(0));
+  const auto Ht = std::max<std::int32_t>(1, Hs / 2);
+  kernels::SpatialInvariant ks;
+  kernels::TemporalInvariant kt;
+  for (auto _ : state) {
+    for (const Point& p : f.pts)
+      core::detail::scatter_sym(f.grid, f.whole, f.map, k, p,
+                                static_cast<double>(Hs),
+                                static_cast<double>(Ht), Hs, Ht, 1e-9, ks, kt);
+  }
+  const double per_point = (2.0 * Hs + 1) * (2.0 * Hs + 1) * (2.0 * Ht + 1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * per_point * static_cast<double>(f.pts.size())));
+}
+
+void BM_ScatterDisk(benchmark::State& state) {
+  auto& f = fix();
+  const kernels::EpanechnikovKernel k;
+  const auto Hs = static_cast<std::int32_t>(state.range(0));
+  const auto Ht = std::max<std::int32_t>(1, Hs / 2);
+  kernels::SpatialInvariant ks;
+  for (auto _ : state) {
+    for (const Point& p : f.pts)
+      core::detail::scatter_disk(f.grid, f.whole, f.map, k, p,
+                                 static_cast<double>(Hs),
+                                 static_cast<double>(Ht), Hs, Ht, 1e-9, ks);
+  }
+}
+
+void BM_ScatterBar(benchmark::State& state) {
+  auto& f = fix();
+  const kernels::EpanechnikovKernel k;
+  const auto Hs = static_cast<std::int32_t>(state.range(0));
+  const auto Ht = std::max<std::int32_t>(1, Hs / 2);
+  kernels::TemporalInvariant kt;
+  for (auto _ : state) {
+    for (const Point& p : f.pts)
+      core::detail::scatter_bar(f.grid, f.whole, f.map, k, p,
+                                static_cast<double>(Hs),
+                                static_cast<double>(Ht), Hs, Ht, 1e-9, kt);
+  }
+}
+
+void BM_InvariantTables(benchmark::State& state) {
+  auto& f = fix();
+  const kernels::EpanechnikovKernel k;
+  const auto Hs = static_cast<std::int32_t>(state.range(0));
+  kernels::SpatialInvariant ks;
+  kernels::TemporalInvariant kt;
+  for (auto _ : state) {
+    for (const Point& p : f.pts) {
+      ks.compute(k, f.map, p, static_cast<double>(Hs), Hs, 1e-9);
+      kt.compute(k, f.map, p, static_cast<double>(Hs) / 2.0,
+                 std::max(1, Hs / 2));
+      benchmark::DoNotOptimize(ks.nonzero());
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScatterDirect<kernels::EpanechnikovKernel>)->Arg(4)->Arg(12);
+BENCHMARK(BM_ScatterDirect<kernels::GaussianTruncatedKernel>)->Arg(12);
+BENCHMARK(BM_ScatterDisk)->Arg(4)->Arg(12);
+BENCHMARK(BM_ScatterBar)->Arg(4)->Arg(12);
+BENCHMARK(BM_ScatterSym<kernels::EpanechnikovKernel>)->Arg(4)->Arg(12);
+BENCHMARK(BM_ScatterSym<kernels::GaussianTruncatedKernel>)->Arg(12);
+BENCHMARK(BM_InvariantTables)->Arg(4)->Arg(12);

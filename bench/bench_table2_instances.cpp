@@ -1,0 +1,46 @@
+// Table 2: properties of the datasets. Prints the paper's catalog verbatim
+// and the laptop-scaled instances every other bench binary actually runs.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/memory.hpp"
+
+using namespace stkde;
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  bench::print_banner("Table 2 — instance catalog (paper + laptop scaling)",
+                      env);
+
+  util::Table paper({"Instance", "n", "Gx x Gy x Gt", "Size", "Hs", "Ht"});
+  for (const auto& s : data::paper_catalog()) {
+    paper.row()
+        .cell(s.name)
+        .cell(s.n)
+        .cell(std::to_string(s.dims.gx) + "x" + std::to_string(s.dims.gy) +
+              "x" + std::to_string(s.dims.gt))
+        .cell(std::to_string(util::to_mib(s.grid_bytes())) + "MB")
+        .cell(s.Hs)
+        .cell(s.Ht);
+  }
+  std::cout << "\n[paper instances, Table 2 verbatim]\n";
+  paper.print(std::cout);
+
+  util::Table lap({"Instance", "n", "Gx x Gy x Gt", "Size", "Hs", "Ht",
+                   "kernel work"});
+  for (const auto& s : data::laptop_catalog(env.budget)) {
+    lap.row()
+        .cell(s.name)
+        .cell(s.n)
+        .cell(std::to_string(s.dims.gx) + "x" + std::to_string(s.dims.gy) +
+              "x" + std::to_string(s.dims.gt))
+        .cell(util::format_bytes(s.grid_bytes()))
+        .cell(s.Hs)
+        .cell(s.Ht)
+        .cell(s.kernel_work(), 0);
+  }
+  std::cout << "\n[laptop-scaled instances used by the bench harness]\n";
+  lap.print(std::cout);
+  return 0;
+}

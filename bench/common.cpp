@@ -1,0 +1,113 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "util/memory.hpp"
+
+namespace stkde::bench {
+
+std::string BenchEnv::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "voxel_cap=%lld work_cap=%.2g real_threads=%d memcap=%.1f "
+                "max_cell_work=%.2g",
+                static_cast<long long>(budget.voxel_cap), budget.work_cap,
+                real_threads, memory_parallel_cap, max_cell_work);
+  return buf;
+}
+
+BenchEnv bench_env() {
+  BenchEnv env;
+  double scale = util::env_double("STKDE_BENCH_SCALE", 1.0);
+  if (util::env_flag("STKDE_BENCH_FAST")) scale = std::min(scale, 0.05);
+  scale = std::clamp(scale, 1e-3, 100.0);
+  env.budget.voxel_cap =
+      static_cast<std::int64_t>(12'000'000.0 * scale);
+  env.budget.work_cap = 1.2e8 * scale;
+  env.real_threads = static_cast<int>(util::env_long(
+      "STKDE_BENCH_THREADS", util::hardware_threads()));
+  env.memory_parallel_cap = util::env_double("STKDE_BENCH_MEMCAP", 3.0);
+  env.max_cell_work = util::env_double("STKDE_BENCH_MAX_WORK", 2.5e9) * scale;
+  return env;
+}
+
+const std::vector<std::int32_t>& decomp_sweep() {
+  static const std::vector<std::int32_t> sweep = {1, 2, 4, 8, 16, 32, 64};
+  return sweep;
+}
+
+const data::Instance& load_instance(const data::InstanceSpec& spec) {
+  static std::map<std::string, data::Instance> cache;
+  const std::string key =
+      spec.name + "/" + std::to_string(spec.dims.voxels()) + "/" +
+      std::to_string(spec.n);
+  auto it = cache.find(key);
+  if (it == cache.end()) it = cache.emplace(key, data::materialize(spec)).first;
+  return it->second;
+}
+
+Params instance_params(const data::Instance& inst, int threads) {
+  Params p;
+  p.hs = inst.hs;
+  p.ht = inst.ht;
+  p.threads = threads;
+  return p;
+}
+
+void print_banner(const std::string& title, const BenchEnv& env) {
+  std::cout << "==================================================================\n"
+            << title << "\n"
+            << "------------------------------------------------------------------\n"
+            << "host: " << util::hardware_threads() << " hardware thread(s), "
+            << util::format_bytes(util::MemoryBudget::instance().limit())
+            << " memory budget\n"
+            << "scaling: " << env.describe() << "\n"
+            << "(see EXPERIMENTS.md for the paper-vs-measured comparison)\n"
+            << "==================================================================\n";
+}
+
+double dd_work_estimate(const data::Instance& inst,
+                        const data::InstanceSpec& spec, std::int32_t d) {
+  const VoxelMapper map(inst.domain);
+  const Decomposition dec =
+      Decomposition::uniform(inst.domain.dims(), DecompRequest{d, d, d});
+  const PointBins bins =
+      bin_by_intersection(inst.points, map, dec, spec.Hs, spec.Ht);
+  const double side = 2.0 * spec.Hs + 1.0, depth = 2.0 * spec.Ht + 1.0;
+  const double tables = side * side + depth;
+  return static_cast<double>(bins.total_entries) * tables +
+         static_cast<double>(inst.points.size()) * side * side * depth;
+}
+
+double mem_phase(double seq_seconds, int P, double cap) {
+  return seq_seconds / std::min<double>(P, cap);
+}
+
+bool paper_scale_oom(const data::InstanceSpec& laptop_spec,
+                     std::uint64_t laptop_bytes_needed) {
+  const data::InstanceSpec& paper = data::paper_instance(laptop_spec.name);
+  const double ratio = static_cast<double>(paper.grid_bytes()) /
+                       static_cast<double>(laptop_spec.grid_bytes());
+  const double paper_bytes =
+      static_cast<double>(laptop_bytes_needed) * ratio +
+      static_cast<double>(paper.n) * 24.0;  // 3 doubles per event
+  constexpr double kPaperMemory = 120.0 * (1ULL << 30);  // 128 GB - OS slack
+  return paper_bytes > kPaperMemory;
+}
+
+double simulate_dr_seconds(const PhaseModel& m, int P) {
+  // init: P replicas written by P threads, memory-bound.
+  const double init = mem_phase(m.init_seq * P, P, m.mem_cap);
+  // compute: pleasingly parallel over points.
+  const double compute = m.compute_seq / P;
+  // reduce: P replicas summed into the grid, memory-bound.
+  const double reduce = mem_phase(m.init_seq * P, P, m.mem_cap);
+  return init + compute + reduce + m.bin_seq;
+}
+
+}  // namespace stkde::bench

@@ -1,0 +1,88 @@
+#pragma once
+/// \file common.hpp
+/// Shared support for the per-table/per-figure bench binaries.
+///
+/// Scaling: bench instances come from data::laptop_catalog() under a budget
+/// controlled by STKDE_BENCH_SCALE (1.0 = default caps; 0.5 = half-size
+/// instances; 2.0 = bigger). STKDE_BENCH_FAST=1 shrinks everything for a
+/// smoke run.
+///
+/// Speedup methodology (DESIGN.md §2): this harness reports, per strategy,
+///  - the real measured wall time at the host's thread count, and
+///  - a simulated P-processor makespan built from *measured* per-task costs
+///    and measured init/bin/reduce phase times, with memory-bound phases
+///    capped at STKDE_BENCH_MEMCAP-way parallelism (default 3, the paper's
+///    measured init scalability at 16 threads, §6.3).
+/// On a 16-core host the two agree; on smaller hosts the simulation is what
+/// preserves the paper's figure shapes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "data/instances.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace stkde::bench {
+
+struct BenchEnv {
+  data::ScaleBudget budget;
+  std::vector<int> thread_sweep{1, 2, 4, 8, 16};  ///< paper's Fig. 8 sweep
+  int real_threads = 1;          ///< threads used for the real measured run
+  double memory_parallel_cap = 3.0;
+  double max_cell_work = 2.5e9;  ///< skip cells costlier than this (ops)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Read the environment and build the bench configuration.
+[[nodiscard]] BenchEnv bench_env();
+
+/// The paper's decomposition sweep: 1^3 .. 64^3 (Figs. 9-14).
+[[nodiscard]] const std::vector<std::int32_t>& decomp_sweep();
+
+/// Materialize a laptop-scaled instance (cached per name within a process).
+[[nodiscard]] const data::Instance& load_instance(const data::InstanceSpec& spec);
+
+/// Params preset for an instance (kernel/bandwidths filled from the spec).
+[[nodiscard]] Params instance_params(const data::Instance& inst, int threads);
+
+/// Print the standard bench banner (instance budget, scaling, host info).
+void print_banner(const std::string& title, const BenchEnv& env);
+
+/// Simulated makespans -------------------------------------------------------
+
+/// Phase times measured from a real run, used to model P-thread execution.
+struct PhaseModel {
+  double init_seq = 0.0;    ///< sequential grid-init seconds
+  double bin_seq = 0.0;     ///< sequential binning seconds
+  double compute_seq = 0.0; ///< sequential compute seconds (sum of tasks)
+  double mem_cap = 3.0;     ///< max parallelism of memory-bound phases
+};
+
+/// Memory-bound phase at P threads: work/min(P, cap) (paper §6.3).
+[[nodiscard]] double mem_phase(double seq_seconds, int P, double cap);
+
+/// Estimated PB-SYM-DD work in kernel-ops for a d^3 decomposition
+/// (invariant tables per replicated bin entry + the cylinder accumulation).
+/// Used to skip prohibitively expensive cells, like the paper skips
+/// eBird Hr-Hb at fine decompositions.
+[[nodiscard]] double dd_work_estimate(const data::Instance& inst,
+                                      const data::InstanceSpec& spec,
+                                      std::int32_t d);
+
+/// DR at P threads: P replica inits + perfectly-parallel compute + P-replica
+/// reduction, from the measured sequential phases of PB-SYM.
+[[nodiscard]] double simulate_dr_seconds(const PhaseModel& m, int P);
+
+/// Would this memory requirement OOM on the *paper's* machine? Laptop
+/// scaling flattens grid-size ratios, so OOM verdicts (Figs. 8/14) are
+/// taken at paper scale: laptop bytes are scaled by the instance's
+/// paper/laptop grid ratio, the point storage is added, and the total is
+/// compared with the paper's 128 GB (with a small OS allowance).
+[[nodiscard]] bool paper_scale_oom(const data::InstanceSpec& laptop_spec,
+                                   std::uint64_t laptop_bytes_needed);
+
+}  // namespace stkde::bench

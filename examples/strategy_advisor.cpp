@@ -1,0 +1,76 @@
+// Strategy advisor: the parametric model the paper's conclusion calls for
+// ("we need to model the instance and the platform ... finding the best
+// execution strategy becomes a combinatorial problem", §6.5/§8).
+//
+//   $ ./strategy_advisor [--dataset Dengue|PollenUS|Flu|eBird] [--n 50000]
+//
+// Calibrates machine constants with micro-probes, predicts every strategy x
+// decomposition, prints the ranking, then *runs* the winner and compares
+// prediction to reality.
+
+#include <iostream>
+
+#include "core/estimator.hpp"
+#include "data/datasets.hpp"
+#include "model/advisor.hpp"
+#include "model/calibration.hpp"
+#include "util/args.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+
+using namespace stkde;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const std::string ds_name = args.get("dataset", std::string("PollenUS"));
+  const auto n = static_cast<std::size_t>(args.get("n", 50000L));
+
+  data::Dataset ds = data::Dataset::kPollenUS;
+  for (const auto d : {data::Dataset::kDengue, data::Dataset::kPollenUS,
+                       data::Dataset::kFlu, data::Dataset::kEBird})
+    if (data::to_string(d) == ds_name) ds = d;
+
+  const DomainSpec dom{0, 0, 0, 600.0, 300.0, 84.0, 1.0, 1.0};
+  const PointSet pts = data::generate_dataset(ds, dom, n, 7);
+  Params params;
+  params.hs = 10.0;
+  params.ht = 3.0;
+
+  std::cout << "calibrating machine profile...\n";
+  const model::MachineProfile machine = model::calibrate();
+  std::cout << "  " << machine.to_string() << "\n\n";
+
+  const model::Advice advice = model::advise(machine, pts, dom, params);
+  util::Table t({"rank", "strategy", "decomp", "predicted (s)", "memory",
+                 "feasible", "note"});
+  for (std::size_t i = 0; i < advice.ranking.size() && i < 12; ++i) {
+    const auto& p = advice.ranking[i];
+    t.row()
+        .cell(static_cast<int>(i + 1))
+        .cell(to_string(p.algorithm))
+        .cell(advice.configs[i].decomp.to_string())
+        .cell(p.seconds, 4)
+        .cell(util::format_bytes(p.bytes))
+        .cell(p.feasible ? "yes" : "no")
+        .cell(p.note);
+  }
+  std::cout << "predicted ranking for " << data::to_string(ds) << " (n=" << n
+            << "):\n";
+  t.print(std::cout);
+
+  // Run the winner and the sequential baseline; compare to predictions.
+  const auto& best = advice.best();
+  std::cout << "\nrunning the winner (" << to_string(best.algorithm)
+            << " @ " << advice.best_config().decomp.to_string() << ")...\n";
+  const Result run = estimate(pts, dom, advice.best_config(), best.algorithm);
+  const Result seq = estimate(pts, dom, params, Algorithm::kPBSym);
+  std::cout << "  predicted " << best.seconds << " s, measured "
+            << run.total_seconds() << " s (sequential PB-SYM: "
+            << seq.total_seconds() << " s)\n";
+  const double err = best.seconds > 0.0
+                         ? run.total_seconds() / best.seconds
+                         : 0.0;
+  std::cout << "  measured/predicted = " << err
+            << " (1.0 = perfect model)\n";
+  return 0;
+}

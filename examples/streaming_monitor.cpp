@@ -1,0 +1,88 @@
+// Streaming outbreak monitor: incremental STKDE over a sliding time window.
+// The paper motivates STKDE with *timely* epidemic monitoring; this example
+// shows the incremental estimator ingesting a live feed in daily batches,
+// retiring events older than the window, and flagging emerging hotspots —
+// at per-batch cost proportional to the batch, not the history.
+//
+//   $ ./streaming_monitor [--days 60] [--window 14] [--per-day 400]
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/clusters.hpp"
+#include "core/incremental.hpp"
+#include "data/datasets.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace stkde;
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  const int days = args.get("days", 60);
+  const double window = args.get("window", 14.0);
+  const auto per_day = static_cast<std::size_t>(args.get("per-day", 400L));
+
+  // A city at 50 m resolution, daily time slices.
+  const DomainSpec city{0, 0, 0, 8000.0, 8000.0, static_cast<double>(days),
+                        50.0, 1.0};
+  Params params;
+  params.hs = 400.0;
+  params.ht = 5.0;
+  core::IncrementalEstimator monitor(city, params);
+  const VoxelMapper map(city);
+
+  // Simulate the full feed once (clustered + seasonal), then deliver it in
+  // daily batches sorted by time.
+  PointSet feed = data::generate_dataset(data::Dataset::kDengue, city,
+                                         per_day * static_cast<std::size_t>(days),
+                                         99);
+  std::sort(feed.begin(), feed.end(),
+            [](const Point& a, const Point& b) { return a.t < b.t; });
+
+  std::cout << "streaming monitor: " << feed.size() << " events over " << days
+            << " days, " << window << "-day window, grid " << city.dims().gx
+            << "x" << city.dims().gy << "x" << city.dims().gt << "\n\n";
+
+  util::Table t({"day", "live events", "batch ms", "peak density",
+                 "hotspots", "top hotspot (x m, y m)"});
+  std::size_t cursor = 0;
+  util::RunningStats batch_ms;
+  for (int day = 0; day < days; ++day) {
+    PointSet batch;
+    while (cursor < feed.size() && feed[cursor].t < day + 1.0)
+      batch.push_back(feed[cursor++]);
+    util::Timer timer;
+    monitor.advance_window(batch, day + 1.0 - window);
+    const double ms = timer.millis();
+    batch_ms.add(ms);
+
+    if ((day + 1) % 10 == 0) {
+      const DensityGrid snap = monitor.snapshot();
+      const float thr = analysis::density_quantile(snap, 0.995);
+      const auto clusters = analysis::extract_clusters(snap, thr);
+      std::string where = "-";
+      if (!clusters.empty()) {
+        const Point c = map.center_of(clusters[0].peak_voxel);
+        where = "(" + util::format_fixed(c.x, 0) + ", " +
+                util::format_fixed(c.y, 0) + ")";
+      }
+      t.row()
+          .cell(day + 1)
+          .cell(static_cast<std::uint64_t>(monitor.live_count()))
+          .cell(ms, 2)
+          .cell(static_cast<double>(snap.max_value()), 8)
+          .cell(static_cast<std::uint64_t>(clusters.size()))
+          .cell(where);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nmean per-batch update: " << batch_ms.mean()
+            << " ms (max " << batch_ms.max()
+            << " ms) — independent of history length; a full recompute "
+               "would touch the whole grid every day.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "analysis/clusters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace stkde::analysis {
+
+namespace {
+
+struct Flat {
+  const DensityGrid& g;
+  std::int32_t nx, ny, nt;
+
+  explicit Flat(const DensityGrid& grid)
+      : g(grid),
+        nx(grid.extent().nx()),
+        ny(grid.extent().ny()),
+        nt(grid.extent().nt()) {}
+
+  [[nodiscard]] std::int64_t idx(std::int32_t x, std::int32_t y,
+                                 std::int32_t t) const {
+    return (static_cast<std::int64_t>(x) * ny + y) * nt + t;
+  }
+};
+
+}  // namespace
+
+std::vector<Cluster> extract_clusters(const DensityGrid& grid,
+                                      float threshold) {
+  if (!grid.allocated()) return {};
+  const Flat f(grid);
+  const Extent3& e = grid.extent();
+  std::vector<bool> visited(static_cast<std::size_t>(grid.size()), false);
+  std::vector<Cluster> out;
+  std::vector<std::int64_t> stack;
+
+  for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
+    for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
+      for (std::int32_t T = e.tlo; T < e.thi; ++T) {
+        const std::int64_t seed =
+            f.idx(X - e.xlo, Y - e.ylo, T - e.tlo);
+        if (visited[static_cast<std::size_t>(seed)]) continue;
+        if (!(grid.at(X, Y, T) > threshold)) continue;
+        // Flood-fill one component.
+        Cluster c;
+        c.peak = grid.at(X, Y, T);
+        c.peak_voxel = Voxel{X, Y, T};
+        c.bbox = Extent3{X, X + 1, Y, Y + 1, T, T + 1};
+        stack.clear();
+        stack.push_back(seed);
+        visited[static_cast<std::size_t>(seed)] = true;
+        while (!stack.empty()) {
+          const std::int64_t cur = stack.back();
+          stack.pop_back();
+          const auto t = static_cast<std::int32_t>(cur % f.nt);
+          const auto y = static_cast<std::int32_t>((cur / f.nt) % f.ny);
+          const auto x = static_cast<std::int32_t>(cur / f.nt / f.ny);
+          const std::int32_t aX = e.xlo + x, aY = e.ylo + y, aT = e.tlo + t;
+          const float val = grid.at(aX, aY, aT);
+          ++c.voxels;
+          c.mass += val;
+          c.cx += static_cast<double>(val) * aX;
+          c.cy += static_cast<double>(val) * aY;
+          c.ct += static_cast<double>(val) * aT;
+          if (val > c.peak) {
+            c.peak = val;
+            c.peak_voxel = Voxel{aX, aY, aT};
+          }
+          c.bbox.xlo = std::min(c.bbox.xlo, aX);
+          c.bbox.xhi = std::max(c.bbox.xhi, aX + 1);
+          c.bbox.ylo = std::min(c.bbox.ylo, aY);
+          c.bbox.yhi = std::max(c.bbox.yhi, aY + 1);
+          c.bbox.tlo = std::min(c.bbox.tlo, aT);
+          c.bbox.thi = std::max(c.bbox.thi, aT + 1);
+          for (std::int32_t dx = -1; dx <= 1; ++dx) {
+            const std::int32_t nxp = x + dx;
+            if (nxp < 0 || nxp >= f.nx) continue;
+            for (std::int32_t dy = -1; dy <= 1; ++dy) {
+              const std::int32_t nyp = y + dy;
+              if (nyp < 0 || nyp >= f.ny) continue;
+              for (std::int32_t dt = -1; dt <= 1; ++dt) {
+                const std::int32_t ntp = t + dt;
+                if (ntp < 0 || ntp >= f.nt) continue;
+                const std::int64_t nidx = f.idx(nxp, nyp, ntp);
+                if (visited[static_cast<std::size_t>(nidx)]) continue;
+                if (!(grid.at(e.xlo + nxp, e.ylo + nyp, e.tlo + ntp) >
+                      threshold))
+                  continue;
+                visited[static_cast<std::size_t>(nidx)] = true;
+                stack.push_back(nidx);
+              }
+            }
+          }
+        }
+        if (c.mass > 0.0) {
+          c.cx /= c.mass;
+          c.cy /= c.mass;
+          c.ct /= c.mass;
+        }
+        out.push_back(c);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Cluster& a, const Cluster& b) { return a.mass > b.mass; });
+  return out;
+}
+
+float density_quantile(const DensityGrid& grid, double q) {
+  if (!grid.allocated()) return 0.0f;
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("density_quantile: q must be in [0, 1]");
+  std::vector<float> positive;
+  positive.reserve(1024);
+  const float* p = grid.data();
+  for (std::int64_t i = 0; i < grid.size(); ++i)
+    if (p[i] > 0.0f) positive.push_back(p[i]);
+  if (positive.empty()) return 0.0f;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(positive.size() - 1));
+  std::nth_element(positive.begin(),
+                   positive.begin() + static_cast<std::ptrdiff_t>(idx),
+                   positive.end());
+  return positive[idx];
+}
+
+}  // namespace stkde::analysis

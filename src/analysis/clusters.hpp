@@ -1,0 +1,36 @@
+#pragma once
+/// \file clusters.hpp
+/// Space-time cluster extraction from a density volume — the analytic step
+/// the paper's applications motivate (outbreak hotspots, pollen waves):
+/// threshold the density, label 26-connected components, rank by mass.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/dense_grid.hpp"
+
+namespace stkde::analysis {
+
+/// One connected component of super-threshold density.
+struct Cluster {
+  std::int64_t voxels = 0;     ///< component size
+  double mass = 0.0;           ///< sum of density over the component
+  float peak = 0.0f;           ///< maximum density
+  Voxel peak_voxel{};          ///< where the maximum sits
+  double cx = 0.0;             ///< density-weighted centroid (voxel coords)
+  double cy = 0.0;
+  double ct = 0.0;
+  Extent3 bbox{};              ///< tight voxel bounding box
+};
+
+/// Extract all 26-connected components with density > \p threshold,
+/// sorted by mass, heaviest first. Threshold <= 0 with an all-positive
+/// grid yields one giant component; pick thresholds via density_quantile().
+[[nodiscard]] std::vector<Cluster> extract_clusters(const DensityGrid& grid,
+                                                    float threshold);
+
+/// q-quantile (0..1) of the *positive* densities in the grid (0 when the
+/// grid has no positive cell). q = 0.99 is a reasonable hotspot threshold.
+[[nodiscard]] float density_quantile(const DensityGrid& grid, double q);
+
+}  // namespace stkde::analysis

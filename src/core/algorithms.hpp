@@ -1,0 +1,72 @@
+#pragma once
+/// \file algorithms.hpp
+/// Entry points for the paper's 12 algorithms. Most users should go through
+/// the Estimator facade (estimator.hpp); these free functions are the
+/// per-algorithm implementations, exposed so benches and tests can target a
+/// strategy directly.
+///
+/// All algorithms compute the same estimate
+///   f(x,y,t) = 1/(n hs^2 ht) * sum_i ks((x-xi)/hs,(y-yi)/hs) kt((t-ti)/ht)
+/// sampled at voxel centers; they differ only in work, memory, and
+/// parallelization (tests/core_equivalence_test.cpp checks bitwise-tolerant
+/// equality of all of them against VB).
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+
+namespace stkde::core {
+
+/// Gold standard voxel-based algorithm (paper Algorithm 1).
+/// Theta(Gx Gy Gt n) time — only viable on small instances.
+[[nodiscard]] Result run_vb(const PointSet& pts, const DomainSpec& dom,
+                            const Params& p);
+
+/// VB with bandwidth-sized point blocks: each voxel only tests points from
+/// its 3x3x3 neighborhood of blocks (paper §6.2).
+[[nodiscard]] Result run_vb_dec(const PointSet& pts, const DomainSpec& dom,
+                                const Params& p);
+
+/// Point-based algorithm (Algorithm 2): Theta(Gx Gy Gt + n Hs^2 Ht).
+[[nodiscard]] Result run_pb(const PointSet& pts, const DomainSpec& dom,
+                            const Params& p);
+
+/// PB with the spatial invariant hoisted (§3.2, PB-DISK).
+[[nodiscard]] Result run_pb_disk(const PointSet& pts, const DomainSpec& dom,
+                                 const Params& p);
+
+/// PB with the temporal invariant hoisted (§3.2, PB-BAR).
+[[nodiscard]] Result run_pb_bar(const PointSet& pts, const DomainSpec& dom,
+                                const Params& p);
+
+/// PB with both invariants hoisted (Algorithm 3, PB-SYM).
+[[nodiscard]] Result run_pb_sym(const PointSet& pts, const DomainSpec& dom,
+                                const Params& p);
+
+/// Domain replication (Algorithm 4): per-thread grid copies + reduction.
+/// Throws util::MemoryBudgetExceeded when P grid replicas exceed memory.
+[[nodiscard]] Result run_pb_sym_dr(const PointSet& pts, const DomainSpec& dom,
+                                   const Params& p);
+
+/// Domain decomposition (Algorithm 5): subdomains processed independently,
+/// boundary points replicated into every intersected subdomain.
+[[nodiscard]] Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
+                                   const Params& p);
+
+/// Point decomposition (Algorithm 6): owner binning + 8 parity phases.
+[[nodiscard]] Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
+                                   const Params& p);
+
+/// PD + greedy load-aware coloring + DAG list scheduling (§5.2).
+[[nodiscard]] Result run_pb_sym_pd_sched(const PointSet& pts,
+                                         const DomainSpec& dom,
+                                         const Params& p);
+
+/// PD + critical-path replication (§5.2). \p use_sched_coloring selects the
+/// SCHED-REP combination reported in Fig. 15.
+[[nodiscard]] Result run_pb_sym_pd_rep(const PointSet& pts,
+                                       const DomainSpec& dom, const Params& p,
+                                       bool use_sched_coloring);
+
+}  // namespace stkde::core

@@ -1,0 +1,67 @@
+#pragma once
+/// \file config.hpp
+/// Algorithm selection and run parameters for the STKDE estimator.
+
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "partition/decomposition.hpp"
+#include "sched/coloring.hpp"
+#include "sched/replication.hpp"
+
+namespace stkde {
+
+/// The algorithms of the paper, in presentation order.
+enum class Algorithm {
+  kVB,             ///< gold-standard voxel-based (Alg. 1)
+  kVBDec,          ///< voxel-based with bandwidth-sized point blocks
+  kPB,             ///< point-based (Alg. 2)
+  kPBDisk,         ///< PB + hoisted spatial invariant
+  kPBBar,          ///< PB + hoisted temporal invariant
+  kPBSym,          ///< PB + both invariants (Alg. 3)
+  kPBSymDR,        ///< parallel, domain replication (Alg. 4)
+  kPBSymDD,        ///< parallel, domain decomposition (Alg. 5)
+  kPBSymPD,        ///< parallel, point decomposition, 8 parity phases (Alg. 6)
+  kPBSymPDSched,   ///< PD + load-aware coloring + DAG list scheduling
+  kPBSymPDRep,     ///< PD + critical-path replication (natural coloring)
+  kPBSymPDSchedRep ///< PD + load-aware coloring + replication (Fig. 15)
+};
+
+/// All algorithms, in enum order.
+[[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+
+/// Paper-style name, e.g. "PB-SYM-PD-SCHED".
+[[nodiscard]] std::string to_string(Algorithm a);
+
+/// Inverse of to_string(); throws std::invalid_argument.
+[[nodiscard]] Algorithm algorithm_by_name(const std::string& name);
+
+/// True for the multi-threaded strategies (the PB-SYM-* family).
+[[nodiscard]] bool is_parallel(Algorithm a);
+
+/// Run parameters. hs/ht are in domain units; everything else has usable
+/// defaults.
+struct Params {
+  double hs = 1.0;  ///< spatial bandwidth (domain units)
+  double ht = 1.0;  ///< temporal bandwidth (domain units)
+  kernels::KernelVariant kernel = kernels::EpanechnikovKernel{};
+  int threads = 0;  ///< worker count; 0 = hardware concurrency
+
+  /// Decomposition request for the DD/PD family (paper sweeps 1^3..64^3).
+  DecompRequest decomp{8, 8, 8};
+
+  /// Coloring order for SCHED/REP (PD-SCHED default: load descending).
+  sched::ColoringOrder order = sched::ColoringOrder::kLoadDescending;
+
+  /// Replication knobs for the REP variants (P is taken from threads).
+  sched::ReplicationParams rep{};
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+
+  /// threads, resolved (>=1).
+  [[nodiscard]] int resolved_threads() const;
+};
+
+}  // namespace stkde

@@ -1,0 +1,38 @@
+#pragma once
+/// \file common.hpp
+/// Shared setup for the algorithm implementations: normalization, bandwidth
+/// conversion, and the per-run kernel dispatch.
+
+#include <variant>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "geom/voxel_mapper.hpp"
+
+namespace stkde::core::detail {
+
+/// Quantities every algorithm derives from (points, domain, params).
+struct RunSetup {
+  VoxelMapper map;
+  std::int32_t Hs;   ///< spatial bandwidth in voxels
+  std::int32_t Ht;   ///< temporal bandwidth in voxels
+  double scale;      ///< 1/(n hs^2 ht); 0 when n == 0
+
+  RunSetup(const PointSet& pts, const DomainSpec& dom, const Params& p)
+      : map(dom),
+        Hs(dom.spatial_bandwidth_voxels(p.hs)),
+        Ht(dom.temporal_bandwidth_voxels(p.ht)),
+        scale(pts.empty() ? 0.0
+                          : 1.0 / (static_cast<double>(pts.size()) * p.hs *
+                                   p.hs * p.ht)) {}
+};
+
+/// Invoke fn(concrete_kernel) for the active kernel alternative; the body of
+/// every algorithm is instantiated once per kernel type so inner loops are
+/// fully static.
+template <typename F>
+decltype(auto) with_kernel(const kernels::KernelVariant& k, F&& fn) {
+  return std::visit(std::forward<F>(fn), k);
+}
+
+}  // namespace stkde::core::detail

@@ -1,0 +1,44 @@
+#include "core/estimator.hpp"
+
+#include <stdexcept>
+
+namespace stkde {
+
+Result Estimator::run(const PointSet& points, const DomainSpec& dom) const {
+  dom.validate();
+  using core::run_pb;
+  switch (algorithm_) {
+    case Algorithm::kVB:
+      return core::run_vb(points, dom, params_);
+    case Algorithm::kVBDec:
+      return core::run_vb_dec(points, dom, params_);
+    case Algorithm::kPB:
+      return core::run_pb(points, dom, params_);
+    case Algorithm::kPBDisk:
+      return core::run_pb_disk(points, dom, params_);
+    case Algorithm::kPBBar:
+      return core::run_pb_bar(points, dom, params_);
+    case Algorithm::kPBSym:
+      return core::run_pb_sym(points, dom, params_);
+    case Algorithm::kPBSymDR:
+      return core::run_pb_sym_dr(points, dom, params_);
+    case Algorithm::kPBSymDD:
+      return core::run_pb_sym_dd(points, dom, params_);
+    case Algorithm::kPBSymPD:
+      return core::run_pb_sym_pd(points, dom, params_);
+    case Algorithm::kPBSymPDSched:
+      return core::run_pb_sym_pd_sched(points, dom, params_);
+    case Algorithm::kPBSymPDRep:
+      return core::run_pb_sym_pd_rep(points, dom, params_, false);
+    case Algorithm::kPBSymPDSchedRep:
+      return core::run_pb_sym_pd_rep(points, dom, params_, true);
+  }
+  throw std::invalid_argument("Estimator: unknown algorithm");
+}
+
+Result estimate(const PointSet& points, const DomainSpec& dom,
+                const Params& params, Algorithm algorithm) {
+  return Estimator(algorithm, params).run(points, dom);
+}
+
+}  // namespace stkde

@@ -1,0 +1,48 @@
+#pragma once
+/// \file estimator.hpp
+/// The public facade: pick an algorithm, set parameters, run.
+///
+/// Quickstart:
+/// \code
+///   stkde::PointSet events = ...;              // (x, y, t) triples
+///   auto dom = stkde::DomainSpec::covering(
+///       stkde::BoundingBox3::of(events), /*sres=*/100.0, /*tres=*/1.0);
+///   stkde::Params params;
+///   params.hs = 500.0;                          // 500 m
+///   params.ht = 7.0;                            // 7 days
+///   stkde::Estimator est(stkde::Algorithm::kPBSymPDSched, params);
+///   stkde::Result r = est.run(events, dom);
+///   float peak = r.grid.max_value();
+/// \endcode
+
+#include "core/algorithms.hpp"
+#include "core/config.hpp"
+#include "core/result.hpp"
+
+namespace stkde {
+
+class Estimator {
+ public:
+  Estimator(Algorithm algorithm, Params params)
+      : algorithm_(algorithm), params_(std::move(params)) {
+    params_.validate();
+  }
+
+  [[nodiscard]] Algorithm algorithm() const { return algorithm_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Run the configured strategy. Throws util::MemoryBudgetExceeded when a
+  /// replicating strategy cannot fit in memory, std::invalid_argument on
+  /// bad domains.
+  [[nodiscard]] Result run(const PointSet& points, const DomainSpec& dom) const;
+
+ private:
+  Algorithm algorithm_;
+  Params params_;
+};
+
+/// One-shot convenience wrapper around Estimator.
+[[nodiscard]] Result estimate(const PointSet& points, const DomainSpec& dom,
+                              const Params& params, Algorithm algorithm);
+
+}  // namespace stkde

@@ -1,0 +1,76 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+#include "core/detail/common.hpp"
+#include "core/detail/scatter.hpp"
+
+namespace stkde::core {
+
+IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
+                                           const Params& params)
+    : dom_(dom),
+      params_(params),
+      map_(dom),
+      Hs_(dom.spatial_bandwidth_voxels(params.hs)),
+      Ht_(dom.temporal_bandwidth_voxels(params.ht)) {
+  params_.validate();
+  raw_.allocate(map_.dims());
+  raw_.fill(0.0f);
+}
+
+void IncrementalEstimator::scatter(const PointSet& batch, double sign) {
+  const Extent3 whole = Extent3::whole(map_.dims());
+  // Raw scale: 1/(hs^2 ht); the 1/n factor is applied on read.
+  const double scale = sign / (params_.hs * params_.hs * params_.ht);
+  detail::with_kernel(params_.kernel, [&](const auto& k) {
+    kernels::SpatialInvariant ks;
+    kernels::TemporalInvariant kt;
+    for (const Point& p : batch)
+      detail::scatter_sym(raw_, whole, map_, k, p, params_.hs, params_.ht,
+                          Hs_, Ht_, scale, ks, kt);
+  });
+}
+
+void IncrementalEstimator::add(const PointSet& batch) {
+  scatter(batch, +1.0);
+  window_.insert(window_.end(), batch.begin(), batch.end());
+}
+
+void IncrementalEstimator::remove(const PointSet& batch) {
+  scatter(batch, -1.0);
+  for (const Point& p : batch) {
+    const auto it = std::find(window_.begin(), window_.end(), p);
+    if (it != window_.end()) window_.erase(it);
+  }
+}
+
+std::size_t IncrementalEstimator::advance_window(const PointSet& incoming,
+                                                 double cutoff) {
+  add(incoming);
+  PointSet expired;
+  while (!window_.empty() && window_.front().t < cutoff) {
+    expired.push_back(window_.front());
+    window_.pop_front();
+  }
+  scatter(expired, -1.0);
+  return expired.size();
+}
+
+DensityGrid IncrementalEstimator::snapshot() const {
+  DensityGrid out(raw_.extent());
+  const auto n = static_cast<double>(window_.size());
+  const float inv_n = n > 0.0 ? static_cast<float>(1.0 / n) : 0.0f;
+  const float* src = raw_.data();
+  float* dst = out.data();
+  for (std::int64_t i = 0; i < raw_.size(); ++i) dst[i] = src[i] * inv_n;
+  return out;
+}
+
+float IncrementalEstimator::density_at(const Voxel& v) const {
+  const auto n = static_cast<double>(window_.size());
+  if (n == 0.0) return 0.0f;
+  return static_cast<float>(raw_.at(v.x, v.y, v.t) / n);
+}
+
+}  // namespace stkde::core

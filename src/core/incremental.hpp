@@ -1,0 +1,70 @@
+#pragma once
+/// \file incremental.hpp
+/// Incremental / streaming STKDE — the near-real-time motivation of the
+/// paper's introduction taken to its conclusion: surveillance feeds append
+/// events continuously, and sliding-window analyses retire old ones.
+///
+/// Density is a sum over events, so the volume updates by scattering new
+/// cylinders (+) and the retired ones (-) — Theta(delta * Hs^2 Ht) per
+/// update instead of a full recompute. The estimator keeps the *raw*
+/// (unnormalized) sum; normalization by the live event count happens on
+/// read, so adds/removes don't rescale the whole grid.
+
+#include <deque>
+
+#include "core/config.hpp"
+#include "core/result.hpp"
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "grid/dense_grid.hpp"
+
+namespace stkde::core {
+
+class IncrementalEstimator {
+ public:
+  /// Fixed domain and bandwidths for the stream's lifetime. Allocates and
+  /// zeroes the raw grid.
+  IncrementalEstimator(const DomainSpec& dom, const Params& params);
+
+  /// Scatter new events into the raw sum. O(|batch| Hs^2 Ht).
+  void add(const PointSet& batch);
+
+  /// Remove previously-added events (exactly cancels their contribution up
+  /// to float rounding). The caller is responsible for passing events that
+  /// were actually added; removal of a never-added event yields a biased
+  /// (possibly negative) density.
+  void remove(const PointSet& batch);
+
+  /// Slide a time window: add \p incoming, then retire every tracked event
+  /// older than \p cutoff (t < cutoff). Returns the number retired.
+  std::size_t advance_window(const PointSet& incoming, double cutoff);
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t live_count() const { return window_.size(); }
+
+  /// Normalized density snapshot: raw / n_live (empty stream: all zeros).
+  [[nodiscard]] DensityGrid snapshot() const;
+
+  /// Normalized density at one voxel (cheap probe for dashboards).
+  [[nodiscard]] float density_at(const Voxel& v) const;
+
+  /// Raw (unnormalized) grid, 1/(hs^2 ht)-scaled kernel sums.
+  [[nodiscard]] const DensityGrid& raw() const { return raw_; }
+
+  [[nodiscard]] const DomainSpec& domain() const { return dom_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  void scatter(const PointSet& batch, double sign);
+
+  DomainSpec dom_;
+  Params params_;
+  VoxelMapper map_;
+  std::int32_t Hs_;
+  std::int32_t Ht_;
+  DensityGrid raw_;
+  std::deque<Point> window_;  ///< live events in arrival order
+};
+
+}  // namespace stkde::core

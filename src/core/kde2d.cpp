@@ -1,0 +1,106 @@
+#include "core/kde2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/detail/common.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "kernels/invariants.hpp"
+
+namespace stkde::core {
+
+double DensitySurface::sum() const {
+  double s = 0.0;
+  for (const float v : values) s += static_cast<double>(v);
+  return s;
+}
+
+float DensitySurface::max_value() const {
+  float m = 0.0f;
+  for (const float v : values) m = std::max(m, v);
+  return m;
+}
+
+double DensitySurface::max_abs_diff(const DensitySurface& other) const {
+  if (nx != other.nx || ny != other.ny)
+    throw std::invalid_argument("DensitySurface: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    m = std::max(m, std::abs(static_cast<double>(values[i]) -
+                             static_cast<double>(other.values[i])));
+  return m;
+}
+
+void Params2D::validate() const {
+  if (!(hs > 0.0)) throw std::invalid_argument("Params2D: hs must be > 0");
+}
+
+namespace {
+
+DensitySurface make_surface(const GridDims& d) {
+  DensitySurface s;
+  s.nx = d.gx;
+  s.ny = d.gy;
+  s.values.assign(static_cast<std::size_t>(d.gx) * d.gy, 0.0f);
+  return s;
+}
+
+}  // namespace
+
+DensitySurface kde2d_vb(const PointSet& pts, const DomainSpec& dom,
+                        const Params2D& p) {
+  dom.validate();
+  p.validate();
+  const VoxelMapper map(dom);
+  DensitySurface out = make_surface(map.dims());
+  if (pts.empty()) return out;
+  const double scale =
+      1.0 / (static_cast<double>(pts.size()) * p.hs * p.hs);
+  const double inv_hs = 1.0 / p.hs;
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    for (std::int32_t X = 0; X < out.nx; ++X) {
+      const double x = map.x_of(X);
+      for (std::int32_t Y = 0; Y < out.ny; ++Y) {
+        const double y = map.y_of(Y);
+        double sum = 0.0;
+        for (const Point& pt : pts)
+          sum += k.spatial((x - pt.x) * inv_hs, (y - pt.y) * inv_hs);
+        out.at(X, Y) = static_cast<float>(sum * scale);
+      }
+    }
+  });
+  return out;
+}
+
+DensitySurface kde2d_pb(const PointSet& pts, const DomainSpec& dom,
+                        const Params2D& p) {
+  dom.validate();
+  p.validate();
+  const VoxelMapper map(dom);
+  DensitySurface out = make_surface(map.dims());
+  if (pts.empty()) return out;
+  const std::int32_t Hs = dom.spatial_bandwidth_voxels(p.hs);
+  const double scale =
+      1.0 / (static_cast<double>(pts.size()) * p.hs * p.hs);
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    kernels::SpatialInvariant ks;
+    for (const Point& pt : pts) {
+      ks.compute(k, map, pt, p.hs, Hs, scale);
+      const std::int32_t x_lo = std::max<std::int32_t>(0, ks.x_lo());
+      const std::int32_t x_hi =
+          std::min<std::int32_t>(out.nx, ks.x_lo() + ks.side());
+      const std::int32_t y_lo = std::max<std::int32_t>(0, ks.y_lo());
+      const std::int32_t y_hi =
+          std::min<std::int32_t>(out.ny, ks.y_lo() + ks.side());
+      for (std::int32_t X = x_lo; X < x_hi; ++X) {
+        const double* row = ks.row(X) + (y_lo - ks.y_lo());
+        for (std::int32_t Y = y_lo; Y < y_hi; ++Y)
+          out.at(X, Y) += static_cast<float>(row[Y - y_lo]);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace stkde::core

@@ -1,0 +1,54 @@
+#pragma once
+/// \file kde2d.hpp
+/// Classic 2D kernel density estimation — the [Sil86] "heatmap" STKDE
+/// extends (paper §2.1). Provided for datasets without a usable time
+/// dimension and as the analytic link to STKDE: integrating the space-time
+/// density over t recovers the 2D estimate
+///   f2(x,y) = 1/(n hs^2) sum_i ks((x-xi)/hs, (y-yi)/hs)
+/// (tests/kde2d_test.cpp verifies time_aggregate(STKDE) * tres ≈ f2).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+#include "kernels/kernels.hpp"
+
+namespace stkde::core {
+
+/// Dense 2D density surface, row-major with y fastest (matches io::Field2D).
+struct DensitySurface {
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  std::vector<float> values;
+
+  [[nodiscard]] float at(std::int32_t x, std::int32_t y) const {
+    return values[static_cast<std::size_t>(x) * ny + y];
+  }
+  [[nodiscard]] float& at(std::int32_t x, std::int32_t y) {
+    return values[static_cast<std::size_t>(x) * ny + y];
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] float max_value() const;
+  [[nodiscard]] double max_abs_diff(const DensitySurface& other) const;
+};
+
+struct Params2D {
+  double hs = 1.0;  ///< spatial bandwidth (domain units)
+  kernels::KernelVariant kernel = kernels::EpanechnikovKernel{};
+
+  void validate() const;
+};
+
+/// Pixel-based gold standard: for each cell, scan all points. Theta(P n).
+[[nodiscard]] DensitySurface kde2d_vb(const PointSet& points,
+                                      const DomainSpec& dom,
+                                      const Params2D& params);
+
+/// Point-based with the hoisted spatial invariant (the 2D analogue of
+/// PB-DISK): Theta(P + n Hs^2).
+[[nodiscard]] DensitySurface kde2d_pb(const PointSet& points,
+                                      const DomainSpec& dom,
+                                      const Params2D& params);
+
+}  // namespace stkde::core

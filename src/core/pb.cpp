@@ -1,0 +1,31 @@
+#include "core/algorithms.hpp"
+#include "core/detail/common.hpp"
+#include "core/detail/scatter.hpp"
+
+namespace stkde::core {
+
+// Algorithm 2 (PB): initialize the grid, then scatter each point's cylinder.
+// Theta(Gx Gy Gt + n Hs^2 Ht); both kernel factors evaluated per voxel.
+Result run_pb(const PointSet& pts, const DomainSpec& dom, const Params& p) {
+  p.validate();
+  const detail::RunSetup s(pts, dom, p);
+  Result res;
+  res.diag.algorithm = to_string(Algorithm::kPB);
+
+  {
+    util::ScopedPhase init(res.phases, phase::kInit);
+    res.grid.allocate(s.map.dims());
+    res.grid.fill(0.0f);
+  }
+
+  util::ScopedPhase compute(res.phases, phase::kCompute);
+  const Extent3 whole = Extent3::whole(s.map.dims());
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    for (const Point& pt : pts)
+      detail::scatter_direct(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
+                             s.Ht, s.scale);
+  });
+  return res;
+}
+
+}  // namespace stkde::core

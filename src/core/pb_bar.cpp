@@ -1,0 +1,32 @@
+#include "core/algorithms.hpp"
+#include "core/detail/common.hpp"
+#include "core/detail/scatter.hpp"
+
+namespace stkde::core {
+
+// PB-BAR (§3.2): the spatially-invariant temporal table Kt is computed once
+// per point and reused across every (X, Y) column of the cylinder.
+Result run_pb_bar(const PointSet& pts, const DomainSpec& dom, const Params& p) {
+  p.validate();
+  const detail::RunSetup s(pts, dom, p);
+  Result res;
+  res.diag.algorithm = to_string(Algorithm::kPBBar);
+
+  {
+    util::ScopedPhase init(res.phases, phase::kInit);
+    res.grid.allocate(s.map.dims());
+    res.grid.fill(0.0f);
+  }
+
+  util::ScopedPhase compute(res.phases, phase::kCompute);
+  const Extent3 whole = Extent3::whole(s.map.dims());
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    kernels::TemporalInvariant kt;
+    for (const Point& pt : pts)
+      detail::scatter_bar(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
+                          s.Ht, s.scale, kt);
+  });
+  return res;
+}
+
+}  // namespace stkde::core

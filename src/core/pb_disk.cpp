@@ -1,0 +1,33 @@
+#include "core/algorithms.hpp"
+#include "core/detail/common.hpp"
+#include "core/detail/scatter.hpp"
+
+namespace stkde::core {
+
+// PB-DISK (§3.2): the temporally-invariant spatial table Ks is computed once
+// per point and reused across all 2Ht+1 planes of the cylinder.
+Result run_pb_disk(const PointSet& pts, const DomainSpec& dom,
+                   const Params& p) {
+  p.validate();
+  const detail::RunSetup s(pts, dom, p);
+  Result res;
+  res.diag.algorithm = to_string(Algorithm::kPBDisk);
+
+  {
+    util::ScopedPhase init(res.phases, phase::kInit);
+    res.grid.allocate(s.map.dims());
+    res.grid.fill(0.0f);
+  }
+
+  util::ScopedPhase compute(res.phases, phase::kCompute);
+  const Extent3 whole = Extent3::whole(s.map.dims());
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    kernels::SpatialInvariant ks;
+    for (const Point& pt : pts)
+      detail::scatter_disk(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
+                           s.Ht, s.scale, ks);
+  });
+  return res;
+}
+
+}  // namespace stkde::core

@@ -1,0 +1,6 @@
+#include "core/result.hpp"
+
+// Result/Diagnostics are aggregates; this translation unit anchors the
+// module in the library.
+
+namespace stkde {}

@@ -1,0 +1,52 @@
+#pragma once
+/// \file result.hpp
+/// Estimation results: the density grid, per-phase timings (matching the
+/// paper's breakdowns), and strategy diagnostics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/dense_grid.hpp"
+#include "util/timer.hpp"
+
+namespace stkde {
+
+/// Canonical phase names used by every algorithm.
+namespace phase {
+inline constexpr const char* kInit = "init";       ///< grid memory init
+inline constexpr const char* kBin = "bin";         ///< point binning
+inline constexpr const char* kPlan = "plan";       ///< coloring/replication
+inline constexpr const char* kCompute = "compute"; ///< kernel accumulation
+inline constexpr const char* kReduce = "reduce";   ///< replica reduction
+}  // namespace phase
+
+/// Strategy diagnostics; algorithms fill the fields that apply.
+struct Diagnostics {
+  std::string algorithm;      ///< paper-style name
+  std::string decomposition;  ///< actual AxBxC after any clamping ("" = none)
+  std::int64_t subdomains = 0;
+  double replication_factor = 1.0;  ///< DD bin entries / n; REP task copies
+  std::int32_t num_colors = 0;      ///< coloring size (PD family)
+  double total_work = 0.0;          ///< T1 from task loads (PD family)
+  double critical_path = 0.0;       ///< Tinf from task loads (PD family)
+  double load_imbalance = 1.0;      ///< max/mean of per-task loads
+  std::uint64_t extra_bytes = 0;    ///< replica/buffer memory beyond the grid
+
+  /// Measured per-task compute seconds (PD/DD family; indexed by flat
+  /// subdomain id, or by expanded task id for REP). Feeds the speedup
+  /// simulator in the bench harness.
+  std::vector<double> task_seconds;
+};
+
+/// A completed STKDE run.
+struct Result {
+  DensityGrid grid;
+  util::PhaseTimer phases;
+  Diagnostics diag;
+
+  /// Total wall seconds across phases (the paper's reported time; I/O free).
+  [[nodiscard]] double total_seconds() const { return phases.total(); }
+};
+
+}  // namespace stkde

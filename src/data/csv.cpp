@@ -1,0 +1,77 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stkde::data {
+
+namespace {
+bool parse_row(const std::string& line, Point& p) {
+  std::istringstream ss(line);
+  std::string cell;
+  double v[3];
+  for (int i = 0; i < 3; ++i) {
+    if (!std::getline(ss, cell, ',')) return false;
+    try {
+      std::size_t pos = 0;
+      v[i] = std::stod(cell, &pos);
+      // Allow trailing whitespace only.
+      while (pos < cell.size()) {
+        if (!std::isspace(static_cast<unsigned char>(cell[pos]))) return false;
+        ++pos;
+      }
+    } catch (...) {
+      return false;
+    }
+  }
+  p = Point{v[0], v[1], v[2]};
+  return true;
+}
+}  // namespace
+
+PointSet read_csv(std::istream& in) {
+  PointSet pts;
+  std::string line;
+  std::size_t lineno = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Point p;
+    if (!parse_row(line, p)) {
+      if (first_data_line) {
+        first_data_line = false;  // header row
+        continue;
+      }
+      throw std::runtime_error("csv: malformed row at line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    first_data_line = false;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+PointSet read_csv_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open " + path);
+  return read_csv(f);
+}
+
+void write_csv(std::ostream& out, const PointSet& points) {
+  out << "x,y,t\n";
+  out.precision(17);
+  for (const auto& p : points) out << p.x << ',' << p.y << ',' << p.t << '\n';
+}
+
+void write_csv_file(const std::string& path, const PointSet& points) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open " + path + " for write");
+  write_csv(f, points);
+  if (!f) throw std::runtime_error("csv: write failed: " + path);
+}
+
+}  // namespace stkde::data

@@ -1,0 +1,26 @@
+#pragma once
+/// \file csv.hpp
+/// CSV point I/O: "x,y,t" rows with an optional header. This is the bridge
+/// to real data — Dengue/eBird-style extracts geocoded to (lon, lat, day)
+/// load directly.
+
+#include <iosfwd>
+#include <string>
+
+#include "geom/point.hpp"
+
+namespace stkde::data {
+
+/// Parse "x,y,t" rows. Skips blank lines and lines starting with '#'.
+/// A first line that fails numeric parsing is treated as a header. Throws
+/// std::runtime_error (with the line number) on malformed rows.
+[[nodiscard]] PointSet read_csv(std::istream& in);
+
+/// Load from a file path; throws std::runtime_error if unreadable.
+[[nodiscard]] PointSet read_csv_file(const std::string& path);
+
+/// Write "x,y,t" rows with a header line.
+void write_csv(std::ostream& out, const PointSet& points);
+void write_csv_file(const std::string& path, const PointSet& points);
+
+}  // namespace stkde::data

@@ -1,0 +1,63 @@
+#include "data/datasets.hpp"
+
+#include <stdexcept>
+
+namespace stkde::data {
+
+std::string to_string(Dataset d) {
+  switch (d) {
+    case Dataset::kDengue: return "Dengue";
+    case Dataset::kPollenUS: return "PollenUS";
+    case Dataset::kFlu: return "Flu";
+    case Dataset::kEBird: return "eBird";
+  }
+  return "?";
+}
+
+ClusterConfig dataset_profile(Dataset d, std::size_t n, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_points = n;
+  cfg.seed = seed;
+  switch (d) {
+    case Dataset::kDengue:
+      // One city: few dominant neighborhoods, sharp outbreak waves.
+      cfg.n_clusters = 12;
+      cfg.cluster_sigma_frac = 0.04;
+      cfg.temporal_sigma_frac = 0.06;
+      cfg.background_frac = 0.05;
+      cfg.pattern = TemporalPattern::kBurst;
+      break;
+    case Dataset::kPollenUS:
+      // Continental: many metro clusters, pronounced pollen season.
+      cfg.n_clusters = 30;
+      cfg.cluster_sigma_frac = 0.025;
+      cfg.background_frac = 0.20;
+      cfg.pattern = TemporalPattern::kSeasonal;
+      cfg.season_period_frac = 0.5;
+      break;
+    case Dataset::kFlu:
+      // Near-global and sparse: scattered small surveillance sites.
+      cfg.n_clusters = 40;
+      cfg.cluster_sigma_frac = 0.01;
+      cfg.temporal_sigma_frac = 0.04;
+      cfg.background_frac = 0.30;
+      cfg.pattern = TemporalPattern::kBurst;
+      break;
+    case Dataset::kEBird:
+      // Global and dense: many hotspots, migration seasonality.
+      cfg.n_clusters = 60;
+      cfg.cluster_sigma_frac = 0.02;
+      cfg.background_frac = 0.10;
+      cfg.pattern = TemporalPattern::kSeasonal;
+      cfg.season_period_frac = 0.25;
+      break;
+  }
+  return cfg;
+}
+
+PointSet generate_dataset(Dataset d, const DomainSpec& spec, std::size_t n,
+                          std::uint64_t seed) {
+  return generate_clustered(spec, dataset_profile(d, n, seed));
+}
+
+}  // namespace stkde::data

@@ -1,0 +1,34 @@
+#pragma once
+/// \file datasets.hpp
+/// Synthetic stand-ins for the paper's four datasets (§6.1, Table 2).
+///
+/// The real data (dengue surveillance records, Gnip tweets, the Influenza
+/// Research Database, eBird) is not redistributable; what the algorithms
+/// are sensitive to is the *spatio-temporal structure*, which each profile
+/// here reproduces (see DESIGN.md §2):
+///  - Dengue:   a city — few dominant urban clusters, epidemic waves.
+///  - PollenUS: continental — many clusters (metros), strong season.
+///  - Flu:      near-global, very sparse — scattered small clusters.
+///  - eBird:    global, dense — many clusters, seasonal migration.
+
+#include <cstdint>
+#include <string>
+
+#include "data/generator.hpp"
+
+namespace stkde::data {
+
+enum class Dataset { kDengue, kPollenUS, kFlu, kEBird };
+
+[[nodiscard]] std::string to_string(Dataset d);
+
+/// Generator profile matched to a dataset's clustering structure. \p n is
+/// the number of events; \p seed keeps instances reproducible.
+[[nodiscard]] ClusterConfig dataset_profile(Dataset d, std::size_t n,
+                                            std::uint64_t seed);
+
+/// Convenience: draw a dataset-flavored point set inside \p spec.
+[[nodiscard]] PointSet generate_dataset(Dataset d, const DomainSpec& spec,
+                                        std::size_t n, std::uint64_t seed);
+
+}  // namespace stkde::data

@@ -1,0 +1,121 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace stkde::data {
+
+namespace {
+
+Point clamp_into(const DomainSpec& d, Point p) {
+  p.x = std::clamp(p.x, d.x0, d.x0 + d.gx);
+  p.y = std::clamp(p.y, d.y0, d.y0 + d.gy);
+  p.t = std::clamp(p.t, d.t0, d.t0 + d.gt);
+  return p;
+}
+
+struct Cluster {
+  double cx, cy;      // spatial center
+  double onset;       // temporal onset (kBurst) / phase (kSeasonal)
+  double weight;      // relative intensity
+};
+
+}  // namespace
+
+PointSet generate_clustered(const DomainSpec& spec, const ClusterConfig& cfg) {
+  spec.validate();
+  if (cfg.n_clusters == 0 && cfg.background_frac < 1.0)
+    throw std::invalid_argument(
+        "generate_clustered: need clusters or background_frac == 1");
+  util::Xoshiro256 rng(cfg.seed);
+
+  std::vector<Cluster> clusters(cfg.n_clusters);
+  double wsum = 0.0;
+  for (auto& c : clusters) {
+    c.cx = rng.uniform(spec.x0, spec.x0 + spec.gx);
+    c.cy = rng.uniform(spec.y0, spec.y0 + spec.gy);
+    c.onset = rng.uniform(spec.t0, spec.t0 + spec.gt);
+    // Zipf-ish intensities: a few dominant hotspots, many minor ones.
+    c.weight = 1.0 / (1.0 + 4.0 * rng.uniform());
+    wsum += c.weight;
+  }
+  for (auto& c : clusters) c.weight /= wsum;
+
+  const double ssig = cfg.cluster_sigma_frac * std::max(spec.gx, spec.gy);
+  const double tsig = cfg.temporal_sigma_frac * spec.gt;
+
+  PointSet pts;
+  pts.reserve(cfg.n_points);
+  for (std::size_t i = 0; i < cfg.n_points; ++i) {
+    Point p;
+    if (rng.uniform() < cfg.background_frac || clusters.empty()) {
+      p.x = rng.uniform(spec.x0, spec.x0 + spec.gx);
+      p.y = rng.uniform(spec.y0, spec.y0 + spec.gy);
+      p.t = rng.uniform(spec.t0, spec.t0 + spec.gt);
+    } else {
+      // Pick a cluster by weight.
+      double u = rng.uniform();
+      std::size_t k = 0;
+      while (k + 1 < clusters.size() && u > clusters[k].weight) {
+        u -= clusters[k].weight;
+        ++k;
+      }
+      const Cluster& c = clusters[k];
+      p.x = rng.normal(c.cx, ssig);
+      p.y = rng.normal(c.cy, ssig);
+      switch (cfg.pattern) {
+        case TemporalPattern::kUniform:
+          p.t = rng.uniform(spec.t0, spec.t0 + spec.gt);
+          break;
+        case TemporalPattern::kBurst:
+          p.t = rng.normal(c.onset, tsig);
+          break;
+        case TemporalPattern::kSeasonal: {
+          // Rejection-sample a sinusoidal intensity with period
+          // season_period_frac * gt and cluster-specific phase.
+          const double period =
+              std::max(1e-9, cfg.season_period_frac * spec.gt);
+          for (int tries = 0; tries < 64; ++tries) {
+            const double t = rng.uniform(spec.t0, spec.t0 + spec.gt);
+            const double phase =
+                2.0 * M_PI * ((t - c.onset) / period);
+            const double intensity = 0.5 * (1.0 + std::cos(phase));
+            if (rng.uniform() < intensity) {
+              p.t = t;
+              break;
+            }
+            p.t = t;  // accept the last draw if all tries rejected
+          }
+          break;
+        }
+      }
+    }
+    pts.push_back(clamp_into(spec, p));
+  }
+  return pts;
+}
+
+PointSet generate_uniform(const DomainSpec& spec, std::size_t n,
+                          std::uint64_t seed) {
+  spec.validate();
+  util::Xoshiro256 rng(seed);
+  PointSet pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back(Point{rng.uniform(spec.x0, spec.x0 + spec.gx),
+                        rng.uniform(spec.y0, spec.y0 + spec.gy),
+                        rng.uniform(spec.t0, spec.t0 + spec.gt)});
+  return pts;
+}
+
+PointSet generate_degenerate(const DomainSpec& spec, std::size_t n) {
+  spec.validate();
+  const Point center{spec.x0 + spec.gx / 2, spec.y0 + spec.gy / 2,
+                     spec.t0 + spec.gt / 2};
+  return PointSet(n, center);
+}
+
+}  // namespace stkde::data

@@ -1,0 +1,117 @@
+#include "data/instances.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stkde::data {
+
+double InstanceSpec::kernel_work() const {
+  const double side = 2.0 * Hs + 1.0;
+  const double depth = 2.0 * Ht + 1.0;
+  return static_cast<double>(n) * side * side * depth;
+}
+
+const std::vector<InstanceSpec>& paper_catalog() {
+  using D = Dataset;
+  static const std::vector<InstanceSpec> catalog = {
+      // name                 dataset       n          Gx    Gy    Gt    Hs   Ht
+      {"Dengue_Lr-Lb",        D::kDengue,   11056,     {148, 194, 728},  3,  1},
+      {"Dengue_Lr-Hb",        D::kDengue,   11056,     {148, 194, 728},  25, 1},
+      {"Dengue_Hr-Lb",        D::kDengue,   11056,     {294, 386, 728},  2,  1},
+      {"Dengue_Hr-Hb",        D::kDengue,   11056,     {294, 386, 728},  50, 1},
+      {"Dengue_Hr-VHb",       D::kDengue,   11056,     {294, 386, 728},  50, 14},
+      {"PollenUS_Lr-Lb",      D::kPollenUS, 588189,    {131, 61, 84},    2,  3},
+      {"PollenUS_Hr-Lb",      D::kPollenUS, 588189,    {651, 301, 84},   10, 3},
+      {"PollenUS_Hr-Mb",      D::kPollenUS, 588189,    {651, 301, 84},   25, 7},
+      {"PollenUS_Hr-Hb",      D::kPollenUS, 588189,    {651, 301, 84},   50, 14},
+      {"PollenUS_VHr-Lb",     D::kPollenUS, 588189,    {6501, 3001, 84}, 100, 3},
+      {"PollenUS_VHr-VLb",    D::kPollenUS, 588189,    {6501, 3001, 84}, 50, 3},
+      {"Flu_Lr-Lb",           D::kFlu,      31478,     {117, 308, 851},  1,  1},
+      {"Flu_Lr-Hb",           D::kFlu,      31478,     {117, 308, 851},  2,  3},
+      {"Flu_Mr-Lb",           D::kFlu,      31478,     {233, 615, 1985}, 2,  3},
+      {"Flu_Mr-Hb",           D::kFlu,      31478,     {233, 615, 1985}, 4,  7},
+      {"Flu_Hr-Lb",           D::kFlu,      31478,     {581, 1536, 5951}, 5, 7},
+      {"Flu_Hr-Hb",           D::kFlu,      31478,     {581, 1536, 5951}, 10, 21},
+      {"eBird_Lr-Lb",         D::kEBird,    291990435, {357, 721, 2435}, 2,  3},
+      {"eBird_Lr-Hb",         D::kEBird,    291990435, {357, 721, 2435}, 6,  5},
+      {"eBird_Hr-Lb",         D::kEBird,    291990435, {1781, 3601, 2435}, 10, 3},
+      {"eBird_Hr-Hb",         D::kEBird,    291990435, {1781, 3601, 2435}, 30, 5},
+  };
+  return catalog;
+}
+
+const InstanceSpec& paper_instance(const std::string& name) {
+  for (const auto& s : paper_catalog())
+    if (s.name == name) return s;
+  throw std::invalid_argument("unknown paper instance: " + name);
+}
+
+InstanceSpec scale_instance(const InstanceSpec& spec,
+                            const ScaleBudget& budget) {
+  InstanceSpec out = spec;
+  const double voxels = static_cast<double>(spec.dims.voxels());
+  double sigma = 1.0;
+  if (voxels > static_cast<double>(budget.voxel_cap))
+    sigma = std::cbrt(static_cast<double>(budget.voxel_cap) / voxels);
+
+  auto scale_dim = [&](std::int32_t g) {
+    return std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::llround(g * sigma)));
+  };
+  out.dims = GridDims{scale_dim(spec.dims.gx), scale_dim(spec.dims.gy),
+                      scale_dim(spec.dims.gt)};
+  auto scale_bw = [&](std::int32_t h) {
+    return std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::llround(h * sigma)));
+  };
+  out.Hs = scale_bw(spec.Hs);
+  out.Ht = scale_bw(spec.Ht);
+  // Bandwidth cannot exceed the (shrunk) grid.
+  out.Hs = std::min(out.Hs, std::max(1, std::min(out.dims.gx, out.dims.gy)));
+  out.Ht = std::min(out.Ht, std::max(1, out.dims.gt));
+
+  const double per_point = (2.0 * out.Hs + 1.0) * (2.0 * out.Hs + 1.0) *
+                           (2.0 * out.Ht + 1.0);
+  const auto n_cap = static_cast<std::uint64_t>(
+      std::max(1.0, budget.work_cap / per_point));
+  out.n = std::min<std::uint64_t>(spec.n, n_cap);
+  return out;
+}
+
+std::vector<InstanceSpec> laptop_catalog(const ScaleBudget& budget) {
+  std::vector<InstanceSpec> out;
+  out.reserve(paper_catalog().size());
+  for (const auto& s : paper_catalog()) out.push_back(scale_instance(s, budget));
+  return out;
+}
+
+namespace {
+std::uint64_t name_seed(const std::string& name) {
+  // FNV-1a so each instance gets a stable but distinct point set.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Instance materialize(const InstanceSpec& spec) {
+  Instance inst;
+  inst.spec = spec;
+  inst.domain = DomainSpec{0.0, 0.0, 0.0,
+                           static_cast<double>(spec.dims.gx),
+                           static_cast<double>(spec.dims.gy),
+                           static_cast<double>(spec.dims.gt),
+                           1.0, 1.0};
+  inst.hs = static_cast<double>(spec.Hs);
+  inst.ht = static_cast<double>(spec.Ht);
+  inst.points = generate_dataset(spec.dataset, inst.domain,
+                                 static_cast<std::size_t>(spec.n),
+                                 name_seed(spec.name));
+  return inst;
+}
+
+}  // namespace stkde::data

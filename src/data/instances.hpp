@@ -1,0 +1,74 @@
+#pragma once
+/// \file instances.hpp
+/// The paper's Table 2 instance catalog (all 21 instances) and the laptop
+/// scaling used by the bench harness.
+///
+/// Paper instances keep the exact n, grid dimensions, and voxel bandwidths
+/// of Table 2 (domain units are voxels: sres = tres = 1, hs = Hs, ht = Ht).
+/// scale_instance() shrinks an instance to fit a voxel budget and a kernel
+/// work budget while preserving its regime (init-bound vs compute-bound,
+/// low vs high bandwidth); see DESIGN.md §2 for the argument.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+
+namespace stkde::data {
+
+/// One Table 2 row.
+struct InstanceSpec {
+  std::string name;     ///< e.g. "Dengue_Hr-VHb"
+  Dataset dataset = Dataset::kDengue;
+  std::uint64_t n = 0;  ///< event count
+  GridDims dims;        ///< Gx x Gy x Gt (voxels)
+  std::int32_t Hs = 1;  ///< spatial bandwidth (voxels)
+  std::int32_t Ht = 1;  ///< temporal bandwidth (voxels)
+
+  /// Density-grid bytes at 4 bytes/voxel (Table 2's "Size" column).
+  [[nodiscard]] std::uint64_t grid_bytes() const {
+    return static_cast<std::uint64_t>(dims.voxels()) * 4;
+  }
+  /// Kernel work proxy: n * (2Hs+1)^2 * (2Ht+1).
+  [[nodiscard]] double kernel_work() const;
+};
+
+/// All 21 instances of Table 2, in the paper's order.
+[[nodiscard]] const std::vector<InstanceSpec>& paper_catalog();
+
+/// Look up a paper instance by name; throws std::invalid_argument.
+[[nodiscard]] const InstanceSpec& paper_instance(const std::string& name);
+
+/// Budgets for laptop scaling. Scaling rule:
+///  1. shrink all grid axes by sigma = min(1, (voxel_cap / voxels)^(1/3));
+///  2. shrink bandwidths by the same sigma (floor 1 voxel);
+///  3. cap n so kernel_work() <= work_cap.
+struct ScaleBudget {
+  std::int64_t voxel_cap = 16'000'000;   ///< ~64 MB of float density
+  double work_cap = 2.0e8;               ///< kernel mult-adds per run
+};
+
+/// Scale an instance to the budget (identity when it already fits).
+[[nodiscard]] InstanceSpec scale_instance(const InstanceSpec& spec,
+                                          const ScaleBudget& budget);
+
+/// The whole catalog scaled to a budget (names keep Table 2 spelling).
+[[nodiscard]] std::vector<InstanceSpec> laptop_catalog(
+    const ScaleBudget& budget = {});
+
+/// A materialized instance: domain + generated points + real-unit bandwidths.
+struct Instance {
+  InstanceSpec spec;
+  DomainSpec domain;  ///< sres = tres = 1, extents = dims
+  PointSet points;    ///< dataset-flavored synthetic events
+  double hs = 1.0;    ///< == spec.Hs (domain units are voxels)
+  double ht = 1.0;    ///< == spec.Ht
+};
+
+/// Generate the point set for \p spec (deterministic per instance name).
+[[nodiscard]] Instance materialize(const InstanceSpec& spec);
+
+}  // namespace stkde::data

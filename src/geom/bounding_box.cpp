@@ -1,0 +1,49 @@
+#include "geom/bounding_box.hpp"
+
+#include <algorithm>
+
+namespace stkde {
+
+void BoundingBox3::expand(const Point& p) {
+  xmin = std::min(xmin, p.x);
+  ymin = std::min(ymin, p.y);
+  tmin = std::min(tmin, p.t);
+  xmax = std::max(xmax, p.x);
+  ymax = std::max(ymax, p.y);
+  tmax = std::max(tmax, p.t);
+}
+
+void BoundingBox3::expand(const BoundingBox3& b) {
+  if (b.empty()) return;
+  xmin = std::min(xmin, b.xmin);
+  ymin = std::min(ymin, b.ymin);
+  tmin = std::min(tmin, b.tmin);
+  xmax = std::max(xmax, b.xmax);
+  ymax = std::max(ymax, b.ymax);
+  tmax = std::max(tmax, b.tmax);
+}
+
+BoundingBox3 BoundingBox3::padded(double hs, double ht) const {
+  BoundingBox3 b = *this;
+  if (b.empty()) return b;
+  b.xmin -= hs;
+  b.xmax += hs;
+  b.ymin -= hs;
+  b.ymax += hs;
+  b.tmin -= ht;
+  b.tmax += ht;
+  return b;
+}
+
+bool BoundingBox3::contains(const Point& p) const {
+  return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax &&
+         p.t >= tmin && p.t <= tmax;
+}
+
+BoundingBox3 BoundingBox3::of(const PointSet& pts) {
+  BoundingBox3 b;
+  for (const auto& p : pts) b.expand(p);
+  return b;
+}
+
+}  // namespace stkde

@@ -1,0 +1,42 @@
+#pragma once
+/// \file bounding_box.hpp
+/// Axis-aligned bounding boxes in domain space.
+
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace stkde {
+
+/// Axis-aligned box over (x, y, t), inclusive bounds. Default-constructed
+/// boxes are "empty" (min > max) and absorb points via expand().
+struct BoundingBox3 {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double tmin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  double tmax = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] bool empty() const { return xmin > xmax; }
+
+  /// Grow to include \p p.
+  void expand(const Point& p);
+
+  /// Grow to include another box.
+  void expand(const BoundingBox3& b);
+
+  /// Pad all sides: spatial dims by \p hs, temporal by \p ht.
+  [[nodiscard]] BoundingBox3 padded(double hs, double ht) const;
+
+  [[nodiscard]] bool contains(const Point& p) const;
+
+  [[nodiscard]] double width() const { return xmax - xmin; }
+  [[nodiscard]] double height() const { return ymax - ymin; }
+  [[nodiscard]] double duration() const { return tmax - tmin; }
+
+  /// Tight box around a point set (empty box for an empty set).
+  static BoundingBox3 of(const PointSet& pts);
+};
+
+}  // namespace stkde

@@ -1,0 +1,56 @@
+#include "geom/domain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stkde {
+
+namespace {
+std::int32_t ceil_div_positive(double extent, double res) {
+  const auto v = static_cast<std::int32_t>(std::ceil(extent / res));
+  return v > 0 ? v : 1;  // degenerate (zero-extent) domains get one voxel
+}
+}  // namespace
+
+GridDims DomainSpec::dims() const {
+  return GridDims{ceil_div_positive(gx, sres), ceil_div_positive(gy, sres),
+                  ceil_div_positive(gt, tres)};
+}
+
+std::int32_t DomainSpec::spatial_bandwidth_voxels(double hs) const {
+  const auto v = static_cast<std::int32_t>(std::ceil(hs / sres));
+  return v > 0 ? v : 1;
+}
+
+std::int32_t DomainSpec::temporal_bandwidth_voxels(double ht) const {
+  const auto v = static_cast<std::int32_t>(std::ceil(ht / tres));
+  return v > 0 ? v : 1;
+}
+
+DomainSpec DomainSpec::covering(const BoundingBox3& box, double sres,
+                                double tres) {
+  if (box.empty()) throw std::invalid_argument("DomainSpec::covering: empty box");
+  DomainSpec d;
+  d.x0 = box.xmin;
+  d.y0 = box.ymin;
+  d.t0 = box.tmin;
+  d.gx = box.width();
+  d.gy = box.height();
+  d.gt = box.duration();
+  d.sres = sres;
+  d.tres = tres;
+  d.validate();
+  return d;
+}
+
+void DomainSpec::validate() const {
+  if (!(sres > 0.0) || !(tres > 0.0))
+    throw std::invalid_argument("DomainSpec: resolutions must be positive");
+  if (gx < 0.0 || gy < 0.0 || gt < 0.0)
+    throw std::invalid_argument("DomainSpec: extents must be non-negative");
+  if (!std::isfinite(gx) || !std::isfinite(gy) || !std::isfinite(gt) ||
+      !std::isfinite(x0) || !std::isfinite(y0) || !std::isfinite(t0))
+    throw std::invalid_argument("DomainSpec: non-finite domain");
+}
+
+}  // namespace stkde

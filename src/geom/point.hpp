@@ -1,0 +1,33 @@
+#pragma once
+/// \file point.hpp
+/// Space-time event points. Following the paper's notation, a point i is
+/// (x_i, y_i, t_i) in *domain space* (lowercase = domain units, e.g. meters
+/// and days); voxel-space coordinates are uppercase and integer.
+
+#include <cstdint>
+#include <vector>
+
+namespace stkde {
+
+/// An event located in space (x, y) and time (t), in domain units.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// A dataset is simply an ordered collection of events.
+using PointSet = std::vector<Point>;
+
+/// Integer voxel coordinate (uppercase (X, Y, T) in the paper).
+struct Voxel {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t t = 0;
+
+  friend bool operator==(const Voxel&, const Voxel&) = default;
+};
+
+}  // namespace stkde

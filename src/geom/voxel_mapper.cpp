@@ -1,0 +1,29 @@
+#include "geom/voxel_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stkde {
+
+VoxelMapper::VoxelMapper(const DomainSpec& spec) : spec_(spec) {
+  spec_.validate();
+  dims_ = spec_.dims();
+}
+
+Voxel VoxelMapper::voxel_of(const Point& p) const {
+  auto cell = [](double v, double origin, double res, std::int32_t n) {
+    auto c = static_cast<std::int32_t>(std::floor((v - origin) / res));
+    return std::clamp<std::int32_t>(c, 0, n - 1);
+  };
+  return Voxel{cell(p.x, spec_.x0, spec_.sres, dims_.gx),
+               cell(p.y, spec_.y0, spec_.sres, dims_.gy),
+               cell(p.t, spec_.t0, spec_.tres, dims_.gt)};
+}
+
+bool VoxelMapper::in_domain(const Point& p) const {
+  return p.x >= spec_.x0 && p.x <= spec_.x0 + spec_.gx && p.y >= spec_.y0 &&
+         p.y <= spec_.y0 + spec_.gy && p.t >= spec_.t0 &&
+         p.t <= spec_.t0 + spec_.gt;
+}
+
+}  // namespace stkde

@@ -1,0 +1,49 @@
+#pragma once
+/// \file voxel_mapper.hpp
+/// Domain↔voxel coordinate conversions. The density of voxel (X, Y, T) is
+/// sampled at the voxel *center*; a point falls into the voxel whose cell
+/// contains it. With Hs = ceil(hs/sres) and Ht = ceil(ht/tres), every voxel
+/// whose center lies within the bandwidth of a point in cell (Xi, Yi, Ti) is
+/// contained in the loop ranges [Xi-Hs, Xi+Hs] x [Yi-Hs, Yi+Hs] x
+/// [Ti-Ht, Ti+Ht], which is what makes the point-based algorithms exact
+/// (tests/geom_test.cpp proves this containment property exhaustively).
+
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+
+namespace stkde {
+
+class VoxelMapper {
+ public:
+  explicit VoxelMapper(const DomainSpec& spec);
+
+  [[nodiscard]] const DomainSpec& spec() const { return spec_; }
+  [[nodiscard]] GridDims dims() const { return dims_; }
+
+  /// Cell containing \p p, clamped into the grid (points on the max border
+  /// belong to the last voxel).
+  [[nodiscard]] Voxel voxel_of(const Point& p) const;
+
+  /// True if \p p lies inside the domain box (border-inclusive).
+  [[nodiscard]] bool in_domain(const Point& p) const;
+
+  /// Sampling coordinate (voxel center) of voxel (X, Y, T).
+  [[nodiscard]] double x_of(std::int32_t X) const {
+    return spec_.x0 + (static_cast<double>(X) + 0.5) * spec_.sres;
+  }
+  [[nodiscard]] double y_of(std::int32_t Y) const {
+    return spec_.y0 + (static_cast<double>(Y) + 0.5) * spec_.sres;
+  }
+  [[nodiscard]] double t_of(std::int32_t T) const {
+    return spec_.t0 + (static_cast<double>(T) + 0.5) * spec_.tres;
+  }
+  [[nodiscard]] Point center_of(const Voxel& v) const {
+    return Point{x_of(v.x), y_of(v.y), t_of(v.t)};
+  }
+
+ private:
+  DomainSpec spec_;
+  GridDims dims_;
+};
+
+}  // namespace stkde

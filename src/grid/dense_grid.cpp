@@ -1,0 +1,58 @@
+#include "grid/dense_grid.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace stkde {
+
+template <typename T>
+void DenseGrid3<T>::fill(T v) {
+  std::fill_n(data_.get(), static_cast<std::size_t>(size_), v);
+}
+
+template <typename T>
+void DenseGrid3<T>::fill_parallel(T v, int threads) {
+  T* const p = data_.get();
+  const std::int64_t n = size_;
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+  {
+    const int nt = omp_get_num_threads();
+    const int id = omp_get_thread_num();
+    const std::int64_t chunk = (n + nt - 1) / nt;
+    const std::int64_t lo = std::min<std::int64_t>(n, id * chunk);
+    const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
+    std::fill(p + lo, p + hi, v);
+  }
+}
+
+template <typename T>
+double DenseGrid3<T>::sum() const {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < size_; ++i) s += static_cast<double>(data_[i]);
+  return s;
+}
+
+template <typename T>
+double DenseGrid3<T>::max_abs_diff(const DenseGrid3& other) const {
+  if (!(ext_ == other.ext_))
+    throw std::invalid_argument("max_abs_diff: extent mismatch");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < size_; ++i)
+    m = std::max(m, std::abs(static_cast<double>(data_[i]) -
+                             static_cast<double>(other.data_[i])));
+  return m;
+}
+
+template <typename T>
+T DenseGrid3<T>::max_value() const {
+  T m = size_ > 0 ? data_[0] : T{};
+  for (std::int64_t i = 1; i < size_; ++i) m = std::max(m, data_[i]);
+  return m;
+}
+
+template class DenseGrid3<float>;
+template class DenseGrid3<double>;
+
+}  // namespace stkde

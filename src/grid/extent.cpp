@@ -1,0 +1,30 @@
+#include "grid/extent.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stkde {
+
+Extent3 Extent3::intersect(const Extent3& o) const {
+  Extent3 r;
+  r.xlo = std::max(xlo, o.xlo);
+  r.xhi = std::min(xhi, o.xhi);
+  r.ylo = std::max(ylo, o.ylo);
+  r.yhi = std::min(yhi, o.yhi);
+  r.tlo = std::max(tlo, o.tlo);
+  r.thi = std::min(thi, o.thi);
+  return r;
+}
+
+Extent3 Extent3::expanded(std::int32_t hs, std::int32_t ht) const {
+  return Extent3{xlo - hs, xhi + hs, ylo - hs, yhi + hs, tlo - ht, thi + ht};
+}
+
+std::string Extent3::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%d,%d)x[%d,%d)x[%d,%d)", xlo, xhi, ylo,
+                yhi, tlo, thi);
+  return buf;
+}
+
+}  // namespace stkde

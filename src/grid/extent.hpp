@@ -1,0 +1,63 @@
+#pragma once
+/// \file extent.hpp
+/// Half-open integer boxes in voxel space, used for subdomains, cylinder
+/// bounding boxes, and clipped accumulation loops.
+
+#include <cstdint>
+#include <string>
+
+#include "geom/domain.hpp"
+
+namespace stkde {
+
+/// Half-open voxel box: [xlo, xhi) x [ylo, yhi) x [tlo, thi).
+struct Extent3 {
+  std::int32_t xlo = 0, xhi = 0;
+  std::int32_t ylo = 0, yhi = 0;
+  std::int32_t tlo = 0, thi = 0;
+
+  [[nodiscard]] bool empty() const {
+    return xlo >= xhi || ylo >= yhi || tlo >= thi;
+  }
+  [[nodiscard]] std::int64_t volume() const {
+    if (empty()) return 0;
+    return static_cast<std::int64_t>(xhi - xlo) * (yhi - ylo) * (thi - tlo);
+  }
+  [[nodiscard]] std::int32_t nx() const { return xhi - xlo; }
+  [[nodiscard]] std::int32_t ny() const { return yhi - ylo; }
+  [[nodiscard]] std::int32_t nt() const { return thi - tlo; }
+
+  [[nodiscard]] bool contains(std::int32_t X, std::int32_t Y,
+                              std::int32_t T) const {
+    return X >= xlo && X < xhi && Y >= ylo && Y < yhi && T >= tlo && T < thi;
+  }
+
+  /// Intersection (possibly empty).
+  [[nodiscard]] Extent3 intersect(const Extent3& o) const;
+
+  /// True when the boxes share at least one voxel.
+  [[nodiscard]] bool intersects(const Extent3& o) const {
+    return !intersect(o).empty();
+  }
+
+  /// Box grown by (hs, hs, ht) voxels on each side (not clipped).
+  [[nodiscard]] Extent3 expanded(std::int32_t hs, std::int32_t ht) const;
+
+  /// Covering the whole grid.
+  static Extent3 whole(const GridDims& d) {
+    return Extent3{0, d.gx, 0, d.gy, 0, d.gt};
+  }
+
+  /// Cylinder bounding box of a point at voxel (X, Y, T):
+  /// [X-Hs, X+Hs] x [Y-Hs, Y+Hs] x [T-Ht, T+Ht], half-open, not clipped.
+  static Extent3 cylinder(const Voxel& c, std::int32_t Hs, std::int32_t Ht) {
+    return Extent3{c.x - Hs, c.x + Hs + 1, c.y - Hs,
+                   c.y + Hs + 1, c.t - Ht, c.t + Ht + 1};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Extent3&, const Extent3&) = default;
+};
+
+}  // namespace stkde

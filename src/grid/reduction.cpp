@@ -1,0 +1,56 @@
+#include "grid/reduction.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stkde {
+
+template <typename T>
+void reduce_replicas(DenseGrid3<T>& dst,
+                     const std::vector<DenseGrid3<T>>& replicas, int threads) {
+  for (const auto& r : replicas)
+    if (!(r.extent() == dst.extent()))
+      throw std::invalid_argument("reduce_replicas: extent mismatch");
+  T* const out = dst.data();
+  const std::int64_t n = dst.size();
+#pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
+  {
+    const int nt = omp_get_num_threads();
+    const int id = omp_get_thread_num();
+    const std::int64_t chunk = (n + nt - 1) / nt;
+    const std::int64_t lo = std::min<std::int64_t>(n, id * chunk);
+    const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
+    for (const auto& r : replicas) {
+      const T* const in = r.data();
+      for (std::int64_t i = lo; i < hi; ++i) out[i] += in[i];
+    }
+  }
+}
+
+template <typename T>
+void accumulate_buffer(DenseGrid3<T>& dst, const DenseGrid3<T>& src) {
+  const Extent3 region = src.extent().intersect(dst.extent());
+  if (region.empty()) return;
+  for (std::int32_t X = region.xlo; X < region.xhi; ++X) {
+    for (std::int32_t Y = region.ylo; Y < region.yhi; ++Y) {
+      T* d = dst.row(X, Y) + (region.tlo - dst.extent().tlo);
+      const T* s = src.row(X, Y) + (region.tlo - src.extent().tlo);
+      const std::int32_t len = region.nt();
+      for (std::int32_t i = 0; i < len; ++i) d[i] += s[i];
+    }
+  }
+}
+
+template void reduce_replicas<float>(DenseGrid3<float>&,
+                                     const std::vector<DenseGrid3<float>>&, int);
+template void reduce_replicas<double>(DenseGrid3<double>&,
+                                      const std::vector<DenseGrid3<double>>&,
+                                      int);
+template void accumulate_buffer<float>(DenseGrid3<float>&,
+                                       const DenseGrid3<float>&);
+template void accumulate_buffer<double>(DenseGrid3<double>&,
+                                        const DenseGrid3<double>&);
+
+}  // namespace stkde

@@ -1,0 +1,35 @@
+#pragma once
+/// \file reduction.hpp
+/// Grid reductions: summing per-thread replicas into the global grid
+/// (PB-SYM-DR's third phase) and adding a subdomain-halo buffer back into
+/// the global grid (PB-SYM-PD-REP's reduce tasks).
+
+#include <vector>
+
+#include "grid/dense_grid.hpp"
+
+namespace stkde {
+
+/// dst += sum(replicas), parallelized over flat chunks with \p threads
+/// OpenMP threads. All replicas must share dst's extent.
+template <typename T>
+void reduce_replicas(DenseGrid3<T>& dst,
+                     const std::vector<DenseGrid3<T>>& replicas, int threads);
+
+/// dst(region) += src(region), where region = src.extent() clipped to
+/// dst.extent(). Single-threaded: the caller (a DAG reduce task) owns the
+/// region exclusively by construction.
+template <typename T>
+void accumulate_buffer(DenseGrid3<T>& dst, const DenseGrid3<T>& src);
+
+extern template void reduce_replicas<float>(DenseGrid3<float>&,
+                                            const std::vector<DenseGrid3<float>>&,
+                                            int);
+extern template void reduce_replicas<double>(
+    DenseGrid3<double>&, const std::vector<DenseGrid3<double>>&, int);
+extern template void accumulate_buffer<float>(DenseGrid3<float>&,
+                                              const DenseGrid3<float>&);
+extern template void accumulate_buffer<double>(DenseGrid3<double>&,
+                                               const DenseGrid3<double>&);
+
+}  // namespace stkde

@@ -1,0 +1,46 @@
+#include "io/grid_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace stkde::io {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'T', 'K', 'D', 'E', 'G', '1', '\0'};
+}
+
+void save_grid(const std::string& path, const DensityGrid& grid) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("grid_io: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const Extent3& e = grid.extent();
+  const std::array<std::int32_t, 6> hdr = {e.xlo, e.xhi, e.ylo,
+                                           e.yhi, e.tlo, e.thi};
+  out.write(reinterpret_cast<const char*>(hdr.data()), sizeof(hdr));
+  out.write(reinterpret_cast<const char*>(grid.data()),
+            static_cast<std::streamsize>(grid.bytes()));
+  if (!out) throw std::runtime_error("grid_io: write failed: " + path);
+}
+
+DensityGrid load_grid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("grid_io: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("grid_io: bad magic in " + path);
+  std::array<std::int32_t, 6> hdr{};
+  in.read(reinterpret_cast<char*>(hdr.data()), sizeof(hdr));
+  if (!in) throw std::runtime_error("grid_io: truncated header in " + path);
+  const Extent3 e{hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]};
+  if (e.empty()) throw std::runtime_error("grid_io: empty extent in " + path);
+  DensityGrid grid(e);
+  in.read(reinterpret_cast<char*>(grid.data()),
+          static_cast<std::streamsize>(grid.bytes()));
+  if (!in) throw std::runtime_error("grid_io: truncated payload in " + path);
+  return grid;
+}
+
+}  // namespace stkde::io

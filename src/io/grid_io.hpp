@@ -1,0 +1,19 @@
+#pragma once
+/// \file grid_io.hpp
+/// Raw binary snapshot of a density grid (little-endian, fixed header) —
+/// used to checkpoint results and to diff runs across strategies.
+
+#include <string>
+
+#include "grid/dense_grid.hpp"
+
+namespace stkde::io {
+
+/// Write grid dims + float payload. Throws std::runtime_error on I/O error.
+void save_grid(const std::string& path, const DensityGrid& grid);
+
+/// Load a grid saved by save_grid(). Throws std::runtime_error on a bad
+/// magic/format or truncated payload.
+[[nodiscard]] DensityGrid load_grid(const std::string& path);
+
+}  // namespace stkde::io

@@ -1,0 +1,30 @@
+#include "io/pgm.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stkde::io {
+
+void write_pgm(const std::string& path, const Field2D& f, double gamma) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pgm: cannot open " + path);
+  out << "P5\n" << f.nx << ' ' << f.ny << "\n255\n";
+  const float mx = f.max_value();
+  std::vector<unsigned char> row(static_cast<std::size_t>(f.nx));
+  // PGM is row-major top-to-bottom; emit y from max to min so north is up.
+  for (std::int32_t y = f.ny - 1; y >= 0; --y) {
+    for (std::int32_t x = 0; x < f.nx; ++x) {
+      double v = mx > 0.0f ? static_cast<double>(f.at(x, y)) / mx : 0.0;
+      v = std::pow(v, gamma);
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::lround(v * 255.0));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("pgm: write failed: " + path);
+}
+
+}  // namespace stkde::io

@@ -1,0 +1,17 @@
+#pragma once
+/// \file pgm.hpp
+/// Portable graymap export of 2D density fields — dependency-free heatmaps
+/// (the examples render Figure 1-style before/after bandwidth maps with it).
+
+#include <string>
+
+#include "io/slice.hpp"
+
+namespace stkde::io {
+
+/// Write \p f as binary PGM (P5), linearly normalized to [0, 255] by the
+/// field max (all-zero fields come out black). \p gamma < 1 brightens the
+/// low-density tail, which is how KDE heatmaps are usually displayed.
+void write_pgm(const std::string& path, const Field2D& f, double gamma = 0.5);
+
+}  // namespace stkde::io

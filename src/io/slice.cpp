@@ -1,0 +1,53 @@
+#include "io/slice.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace stkde::io {
+
+float Field2D::max_value() const {
+  float m = 0.0f;
+  for (const float v : values) m = std::max(m, v);
+  return m;
+}
+
+Field2D time_slice(const DensityGrid& grid, std::int32_t t) {
+  const Extent3& e = grid.extent();
+  if (t < e.tlo || t >= e.thi)
+    throw std::out_of_range("time_slice: t outside grid");
+  Field2D f;
+  f.nx = e.nx();
+  f.ny = e.ny();
+  f.values.resize(static_cast<std::size_t>(f.nx) * f.ny);
+  for (std::int32_t X = e.xlo; X < e.xhi; ++X)
+    for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y)
+      f.values[static_cast<std::size_t>(X - e.xlo) * f.ny + (Y - e.ylo)] =
+          grid.at(X, Y, t);
+  return f;
+}
+
+Field2D time_aggregate(const DensityGrid& grid) {
+  const Extent3& e = grid.extent();
+  Field2D f;
+  f.nx = e.nx();
+  f.ny = e.ny();
+  f.values.assign(static_cast<std::size_t>(f.nx) * f.ny, 0.0f);
+  for (std::int32_t X = e.xlo; X < e.xhi; ++X)
+    for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
+      const float* row = grid.row(X, Y);
+      float sum = 0.0f;
+      for (std::int32_t i = 0; i < e.nt(); ++i) sum += row[i];
+      f.values[static_cast<std::size_t>(X - e.xlo) * f.ny + (Y - e.ylo)] = sum;
+    }
+  return f;
+}
+
+void write_field_csv(std::ostream& out, const Field2D& f) {
+  out << "x,y,value\n";
+  for (std::int32_t x = 0; x < f.nx; ++x)
+    for (std::int32_t y = 0; y < f.ny; ++y)
+      out << x << ',' << y << ',' << f.at(x, y) << '\n';
+}
+
+}  // namespace stkde::io

@@ -1,0 +1,35 @@
+#pragma once
+/// \file slice.hpp
+/// 2D extracts from the 3D density volume: a single time slice, or the
+/// time-aggregated map (sum over T) — the "heatmap" views users plot.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "grid/dense_grid.hpp"
+
+namespace stkde::io {
+
+/// A dense 2D field (row-major, y fastest).
+struct Field2D {
+  std::int32_t nx = 0;
+  std::int32_t ny = 0;
+  std::vector<float> values;  ///< size nx * ny
+
+  [[nodiscard]] float at(std::int32_t x, std::int32_t y) const {
+    return values[static_cast<std::size_t>(x) * ny + y];
+  }
+  [[nodiscard]] float max_value() const;
+};
+
+/// The T = \p t plane of the volume.
+[[nodiscard]] Field2D time_slice(const DensityGrid& grid, std::int32_t t);
+
+/// Sum over all T planes (total density map).
+[[nodiscard]] Field2D time_aggregate(const DensityGrid& grid);
+
+/// Write a field as "x,y,value" CSV rows.
+void write_field_csv(std::ostream& out, const Field2D& f);
+
+}  // namespace stkde::io

@@ -1,0 +1,59 @@
+#include "io/vtk.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stkde::io {
+
+namespace {
+float to_big_endian(float v) {
+  if constexpr (std::endian::native == std::endian::big) return v;
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u = __builtin_bswap32(u);
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+}  // namespace
+
+void write_vtk(const std::string& path, const DensityGrid& grid,
+               const DomainSpec& spec, std::int32_t stride) {
+  if (stride < 1) throw std::invalid_argument("vtk: stride must be >= 1");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("vtk: cannot open " + path);
+
+  const Extent3& e = grid.extent();
+  const std::int32_t nx = (e.nx() + stride - 1) / stride;
+  const std::int32_t ny = (e.ny() + stride - 1) / stride;
+  const std::int32_t nt = (e.nt() + stride - 1) / stride;
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "stkde density volume\n"
+      << "BINARY\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << nx << ' ' << ny << ' ' << nt << '\n'
+      << "ORIGIN " << spec.x0 << ' ' << spec.y0 << ' ' << spec.t0 << '\n'
+      << "SPACING " << spec.sres * stride << ' ' << spec.sres * stride << ' '
+      << spec.tres * stride << '\n'
+      << "POINT_DATA " << static_cast<std::int64_t>(nx) * ny * nt << '\n'
+      << "SCALARS density float 1\n"
+      << "LOOKUP_TABLE default\n";
+
+  // VTK structured points order: x fastest, then y, then z(t).
+  std::vector<float> row(static_cast<std::size_t>(nx));
+  for (std::int32_t T = e.tlo; T < e.thi; T += stride) {
+    for (std::int32_t Y = e.ylo; Y < e.yhi; Y += stride) {
+      std::size_t i = 0;
+      for (std::int32_t X = e.xlo; X < e.xhi; X += stride)
+        row[i++] = to_big_endian(grid.at(X, Y, T));
+      out.write(reinterpret_cast<const char*>(row.data()),
+                static_cast<std::streamsize>(i * sizeof(float)));
+    }
+  }
+  if (!out) throw std::runtime_error("vtk: write failed: " + path);
+}
+
+}  // namespace stkde::io

@@ -1,0 +1,20 @@
+#pragma once
+/// \file vtk.hpp
+/// Legacy-VTK STRUCTURED_POINTS export of the 3D density volume, loadable in
+/// ParaView for the space-time-cube visualization the paper motivates.
+
+#include <string>
+
+#include "geom/domain.hpp"
+#include "grid/dense_grid.hpp"
+
+namespace stkde::io {
+
+/// Write the volume as a legacy VTK file (binary scalars, big-endian per the
+/// VTK spec). \p spec provides the physical origin/spacing. \p stride
+/// subsamples each axis (stride 2 halves every dimension) so large volumes
+/// export at preview size.
+void write_vtk(const std::string& path, const DensityGrid& grid,
+               const DomainSpec& spec, std::int32_t stride = 1);
+
+}  // namespace stkde::io

@@ -1,0 +1,37 @@
+#include "kernels/bandwidth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spatial/knn.hpp"
+#include "util/stats.hpp"
+
+namespace stkde::kernels {
+
+SilvermanBandwidth silverman_bandwidth(const PointSet& points) {
+  SilvermanBandwidth out;
+  if (points.size() < 2) return out;
+  util::RunningStats sx, sy, st;
+  for (const auto& p : points) {
+    sx.add(p.x);
+    sy.add(p.y);
+    st.add(p.t);
+  }
+  const double factor =
+      1.06 * std::pow(static_cast<double>(points.size()), -0.2);
+  out.hs = factor * 0.5 * (sx.stddev() + sy.stddev());
+  out.ht = factor * st.stddev();
+  if (!(out.hs > 0.0)) out.hs = 1.0;
+  if (!(out.ht > 0.0)) out.ht = 1.0;
+  return out;
+}
+
+std::vector<double> knn_adaptive_bandwidths(const PointSet& points, int k,
+                                            const AdaptiveClamp& clamp) {
+  const spatial::GridKnn knn(points);
+  std::vector<double> h = knn.all_kth_distances(std::max(1, k));
+  for (auto& v : h) v = std::clamp(v, clamp.min_hs, clamp.max_hs);
+  return h;
+}
+
+}  // namespace stkde::kernels

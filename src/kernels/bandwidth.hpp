@@ -1,0 +1,42 @@
+#pragma once
+/// \file bandwidth.hpp
+/// Bandwidth selection.
+///
+/// Fixed bandwidths: Silverman's rule of thumb (the paper cites [Sil86] for
+/// KDE fundamentals) adapted per dimension. Adaptive bandwidths: the
+/// paper's §8 future work — "a bandwidth that adapts to the density of
+/// population of the area" — implemented as the k-nearest-neighbor rule
+/// common in the GIS literature: each event's spatial bandwidth is its
+/// distance to the k-th nearest event, clamped to [min, max].
+
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace stkde::kernels {
+
+/// Per-dimension Silverman rule-of-thumb estimates.
+struct SilvermanBandwidth {
+  double hs = 1.0;  ///< spatial (averaged over x and y)
+  double ht = 1.0;  ///< temporal
+};
+
+/// Rule-of-thumb bandwidths from sample standard deviations:
+/// h = 1.06 * sigma * n^(-1/5) per dimension (spatial: mean of x and y).
+/// Returns defaults for fewer than 2 points.
+[[nodiscard]] SilvermanBandwidth silverman_bandwidth(const PointSet& points);
+
+/// Clamping bounds for adaptive bandwidths.
+struct AdaptiveClamp {
+  double min_hs = 1e-9;
+  double max_hs = 1e18;
+};
+
+/// kNN adaptive spatial bandwidths: h_i = max(min_hs, min(max_hs,
+/// distance from point i to its k-th nearest other point)). Points with
+/// fewer than k neighbors (tiny sets) get the farthest available distance;
+/// an isolated single point gets min_hs.
+[[nodiscard]] std::vector<double> knn_adaptive_bandwidths(
+    const PointSet& points, int k, const AdaptiveClamp& clamp = {});
+
+}  // namespace stkde::kernels

@@ -1,0 +1,107 @@
+#pragma once
+/// \file invariants.hpp
+/// The two per-point invariant tables PB-SYM exploits (paper §3.2, Fig. 3):
+///  - SpatialInvariant "disk": Ks[X][Y] = ks((x-xi)/hs, (y-yi)/hs) * scale,
+///    temporally invariant — identical for every T-plane of the cylinder.
+///  - TemporalInvariant "bar": Kt[T] = kt((t-ti)/ht),
+///    spatially invariant — identical for every (X, Y)-column.
+/// The density contribution of point i to voxel (X,Y,T) is Ks[X][Y]*Kt[T].
+///
+/// Tables are reusable scratch buffers: compute() re-fills in place, so a
+/// worker processes millions of points without reallocating.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/voxel_mapper.hpp"
+#include "kernels/kernels.hpp"
+
+namespace stkde::kernels {
+
+/// Dense (2Hs+1)^2 table of spatial kernel values around a point, aligned to
+/// the voxel grid. Rows may fall outside the grid; accumulation loops clip.
+class SpatialInvariant {
+ public:
+  /// Fill the table for point \p p. \p scale is folded into every entry
+  /// (PB-SYM stores ks(...)/(n hs^2 ht) directly, per Algorithm 3).
+  template <SeparableKernel K>
+  void compute(const K& k, const VoxelMapper& map, const Point& p, double hs,
+               std::int32_t Hs, double scale) {
+    const Voxel c = map.voxel_of(p);
+    x_lo_ = c.x - Hs;
+    y_lo_ = c.y - Hs;
+    side_ = 2 * Hs + 1;
+    values_.assign(static_cast<std::size_t>(side_) * side_, 0.0);
+    nonzero_ = 0;
+    const double inv_hs = 1.0 / hs;
+    for (std::int32_t dx = 0; dx < side_; ++dx) {
+      const double u = (map.x_of(x_lo_ + dx) - p.x) * inv_hs;
+      for (std::int32_t dy = 0; dy < side_; ++dy) {
+        const double v = (map.y_of(y_lo_ + dy) - p.y) * inv_hs;
+        const double val = k.spatial(u, v) * scale;
+        values_[static_cast<std::size_t>(dx) * side_ + dy] = val;
+        if (val != 0.0) ++nonzero_;
+      }
+    }
+  }
+
+  /// First voxel row/column covered by the table (may be negative).
+  [[nodiscard]] std::int32_t x_lo() const { return x_lo_; }
+  [[nodiscard]] std::int32_t y_lo() const { return y_lo_; }
+  /// Table edge length, 2Hs+1.
+  [[nodiscard]] std::int32_t side() const { return side_; }
+  /// Entries strictly inside the kernel support.
+  [[nodiscard]] std::int64_t nonzero() const { return nonzero_; }
+
+  /// Value at absolute voxel (X, Y); caller guarantees the voxel is covered.
+  [[nodiscard]] double at(std::int32_t X, std::int32_t Y) const {
+    return values_[static_cast<std::size_t>(X - x_lo_) * side_ + (Y - y_lo_)];
+  }
+
+  /// Row pointer for absolute voxel row X, indexed by absolute Y - y_lo().
+  [[nodiscard]] const double* row(std::int32_t X) const {
+    return values_.data() + static_cast<std::size_t>(X - x_lo_) * side_;
+  }
+
+ private:
+  std::vector<double> values_;
+  std::int32_t x_lo_ = 0, y_lo_ = 0, side_ = 0;
+  std::int64_t nonzero_ = 0;
+};
+
+/// Dense (2Ht+1) table of temporal kernel values around a point.
+class TemporalInvariant {
+ public:
+  template <SeparableKernel K>
+  void compute(const K& k, const VoxelMapper& map, const Point& p, double ht,
+               std::int32_t Ht) {
+    const Voxel c = map.voxel_of(p);
+    t_lo_ = c.t - Ht;
+    len_ = 2 * Ht + 1;
+    values_.assign(static_cast<std::size_t>(len_), 0.0);
+    nonzero_ = 0;
+    const double inv_ht = 1.0 / ht;
+    for (std::int32_t dt = 0; dt < len_; ++dt) {
+      const double w = (map.t_of(t_lo_ + dt) - p.t) * inv_ht;
+      const double val = k.temporal(w);
+      values_[static_cast<std::size_t>(dt)] = val;
+      if (val != 0.0) ++nonzero_;
+    }
+  }
+
+  [[nodiscard]] std::int32_t t_lo() const { return t_lo_; }
+  [[nodiscard]] std::int32_t len() const { return len_; }
+  [[nodiscard]] std::int64_t nonzero() const { return nonzero_; }
+
+  [[nodiscard]] double at(std::int32_t T) const {
+    return values_[static_cast<std::size_t>(T - t_lo_)];
+  }
+  [[nodiscard]] const double* data() const { return values_.data(); }
+
+ private:
+  std::vector<double> values_;
+  std::int32_t t_lo_ = 0, len_ = 0;
+  std::int64_t nonzero_ = 0;
+};
+
+}  // namespace stkde::kernels

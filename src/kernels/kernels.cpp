@@ -1,0 +1,21 @@
+#include "kernels/kernels.hpp"
+
+#include <stdexcept>
+
+namespace stkde::kernels {
+
+std::string kernel_name(const KernelVariant& k) {
+  return std::visit([](const auto& kk) { return kk.name(); }, k);
+}
+
+KernelVariant kernel_by_name(const std::string& name) {
+  if (name == EpanechnikovKernel::name()) return EpanechnikovKernel{};
+  if (name == AsPrintedKernel::name()) return AsPrintedKernel{};
+  if (name == UniformKernel::name()) return UniformKernel{};
+  if (name == TriangularKernel::name()) return TriangularKernel{};
+  if (name == QuarticKernel::name()) return QuarticKernel{};
+  if (name == GaussianTruncatedKernel::name()) return GaussianTruncatedKernel{};
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+}  // namespace stkde::kernels

@@ -1,0 +1,181 @@
+#pragma once
+/// \file kernels.hpp
+/// Separable space-time kernels.
+///
+/// STKDE (paper §2.1, following [NY10], [HDTC16]):
+///   f(x,y,t) = 1/(n hs^2 ht) * sum_{i : d_i < hs, |t-t_i| <= ht}
+///              ks((x-xi)/hs, (y-yi)/hs) * kt((t-ti)/ht)
+///
+/// Every kernel here is *separable*: a spatial factor ks(u, v) supported on
+/// the open unit disk u^2+v^2 < 1, and a temporal factor kt(w) supported on
+/// |w| <= 1. Separability is the only property the paper's PB-DISK / PB-BAR /
+/// PB-SYM invariants rely on; all algorithms are generic over any kernel in
+/// the KernelVariant.
+///
+/// The default is the Epanechnikov product used by the STKDE literature the
+/// paper builds on: ks(u,v) = (2/pi)(1-u^2-v^2), kt(w) = (3/4)(1-w^2).
+/// The arXiv text prints "ks(u,v) = pi/2 (1-u)^2 (1-v)^2" and
+/// "kt(w) = 3/4 (1-w)^2"; that transcription is reproduced verbatim as
+/// AsPrintedKernel (see DESIGN.md §2 for why it is not the default).
+
+#include <cmath>
+#include <concepts>
+#include <string>
+#include <variant>
+
+namespace stkde::kernels {
+
+/// A separable space-time kernel: spatial(u, v) for the normalized spatial
+/// offset (support: u^2+v^2 < 1, strict, matching the paper's d_i < hs) and
+/// temporal(w) for the normalized temporal offset (support |w| <= 1,
+/// matching |t_i - t| <= ht). Both must return 0 outside their support.
+template <typename K>
+concept SeparableKernel = requires(const K k, double u, double v, double w) {
+  { k.spatial(u, v) } -> std::convertible_to<double>;
+  { k.temporal(w) } -> std::convertible_to<double>;
+  { K::name() } -> std::convertible_to<std::string>;
+};
+
+namespace detail {
+/// Spatial support test shared by all kernels (strict, d < hs).
+inline bool in_disk(double u, double v) { return u * u + v * v < 1.0; }
+/// Temporal support test (inclusive, |t - ti| <= ht).
+inline bool in_bar(double w) { return std::abs(w) <= 1.0; }
+}  // namespace detail
+
+/// Default: 2D Epanechnikov disk x 1D Epanechnikov bar. Both factors
+/// integrate to 1 over their support.
+struct EpanechnikovKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    const double r2 = u * u + v * v;
+    return r2 < 1.0 ? (2.0 / M_PI) * (1.0 - r2) : 0.0;
+  }
+  [[nodiscard]] double temporal(double w) const {
+    return detail::in_bar(w) ? 0.75 * (1.0 - w * w) : 0.0;
+  }
+  static std::string name() { return "epanechnikov"; }
+};
+
+/// The kernel exactly as printed in the arXiv text (see file comment).
+struct AsPrintedKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    if (!detail::in_disk(u, v)) return 0.0;
+    const double a = 1.0 - u, b = 1.0 - v;
+    return (M_PI / 2.0) * a * a * b * b;
+  }
+  [[nodiscard]] double temporal(double w) const {
+    if (!detail::in_bar(w)) return 0.0;
+    const double a = 1.0 - w;
+    return 0.75 * a * a;
+  }
+  static std::string name() { return "as-printed"; }
+};
+
+/// Uniform (cylinder) kernel: constant density inside the support.
+struct UniformKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    return detail::in_disk(u, v) ? 1.0 / M_PI : 0.0;
+  }
+  [[nodiscard]] double temporal(double w) const {
+    return detail::in_bar(w) ? 0.5 : 0.0;
+  }
+  static std::string name() { return "uniform"; }
+};
+
+/// Cone (triangular) kernel: linear radial decay.
+struct TriangularKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    const double r2 = u * u + v * v;
+    if (r2 >= 1.0) return 0.0;
+    return (3.0 / M_PI) * (1.0 - std::sqrt(r2));
+  }
+  [[nodiscard]] double temporal(double w) const {
+    return detail::in_bar(w) ? (1.0 - std::abs(w)) : 0.0;
+  }
+  static std::string name() { return "triangular"; }
+};
+
+/// Quartic (biweight) kernel: smoother decay than Epanechnikov.
+struct QuarticKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    const double r2 = u * u + v * v;
+    if (r2 >= 1.0) return 0.0;
+    const double a = 1.0 - r2;
+    return (3.0 / M_PI) * a * a;
+  }
+  [[nodiscard]] double temporal(double w) const {
+    if (!detail::in_bar(w)) return 0.0;
+    const double a = 1.0 - w * w;
+    return (15.0 / 16.0) * a * a;
+  }
+  static std::string name() { return "quartic"; }
+};
+
+/// Gaussian truncated at the bandwidth (sigma = 1/3 so the cutoff sits at
+/// 3 sigma). Normalization constants make each factor integrate to ~1 over
+/// the truncated support.
+struct GaussianTruncatedKernel {
+  [[nodiscard]] double spatial(double u, double v) const {
+    const double r2 = u * u + v * v;
+    if (r2 >= 1.0) return 0.0;
+    // 2D: integral over disk of exp(-r^2/(2 s^2)) = 2 pi s^2 (1 - e^{-1/(2 s^2)})
+    constexpr double s2 = 1.0 / 9.0;
+    const double z = 2.0 * M_PI * s2 * (1.0 - std::exp(-1.0 / (2.0 * s2)));
+    return std::exp(-r2 / (2.0 * s2)) / z;
+  }
+  [[nodiscard]] double temporal(double w) const {
+    if (!detail::in_bar(w)) return 0.0;
+    constexpr double s2 = 1.0 / 9.0;
+    // 1D: integral over [-1,1] of exp(-w^2/(2 s^2)) = sqrt(2 pi s^2) erf(1/(s sqrt 2))
+    const double z = std::sqrt(2.0 * M_PI * s2) * std::erf(1.0 / std::sqrt(2.0 * s2));
+    return std::exp(-w * w / (2.0 * s2)) / z;
+  }
+  static std::string name() { return "gaussian-truncated"; }
+};
+
+static_assert(SeparableKernel<EpanechnikovKernel>);
+static_assert(SeparableKernel<AsPrintedKernel>);
+static_assert(SeparableKernel<UniformKernel>);
+static_assert(SeparableKernel<TriangularKernel>);
+static_assert(SeparableKernel<QuarticKernel>);
+static_assert(SeparableKernel<GaussianTruncatedKernel>);
+
+/// Runtime-selectable kernel. Algorithms dispatch once per run (std::visit),
+/// so inner loops always see a concrete kernel type.
+using KernelVariant =
+    std::variant<EpanechnikovKernel, AsPrintedKernel, UniformKernel,
+                 TriangularKernel, QuarticKernel, GaussianTruncatedKernel>;
+
+/// Name of the active alternative.
+[[nodiscard]] std::string kernel_name(const KernelVariant& k);
+
+/// Parse by name (as returned by each kernel's name()); throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] KernelVariant kernel_by_name(const std::string& name);
+
+/// Numerical integral of the spatial factor over the unit disk (midpoint
+/// rule on an m x m grid) — used by normalization tests.
+template <SeparableKernel K>
+[[nodiscard]] double spatial_integral(const K& k, int m = 2000) {
+  const double h = 2.0 / m;
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const double u = -1.0 + (i + 0.5) * h;
+    for (int j = 0; j < m; ++j) {
+      const double v = -1.0 + (j + 0.5) * h;
+      sum += k.spatial(u, v);
+    }
+  }
+  return sum * h * h;
+}
+
+/// Numerical integral of the temporal factor over [-1, 1].
+template <SeparableKernel K>
+[[nodiscard]] double temporal_integral(const K& k, int m = 200000) {
+  const double h = 2.0 / m;
+  double sum = 0.0;
+  for (int i = 0; i < m; ++i) sum += k.temporal(-1.0 + (i + 0.5) * h);
+  return sum * h;
+}
+
+}  // namespace stkde::kernels

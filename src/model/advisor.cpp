@@ -1,0 +1,51 @@
+#include "model/advisor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace stkde::model {
+
+Advice advise(const MachineProfile& machine, const PointSet& points,
+              const DomainSpec& dom, const Params& base_params,
+              const std::vector<std::int32_t>& decomp_sizes) {
+  Advice advice;
+
+  auto add = [&](Algorithm alg, const Params& p) {
+    advice.ranking.push_back(predict(machine, points, dom, p, alg));
+    advice.configs.push_back(p);
+  };
+
+  // Decomposition-free strategies.
+  add(Algorithm::kPBSym, base_params);
+  add(Algorithm::kPBSymDR, base_params);
+
+  // Decomposed strategies: sweep the decomposition grid.
+  for (const std::int32_t s : decomp_sizes) {
+    Params p = base_params;
+    p.decomp = DecompRequest{s, s, s};
+    add(Algorithm::kPBSymDD, p);
+    add(Algorithm::kPBSymPD, p);
+    add(Algorithm::kPBSymPDSched, p);
+    add(Algorithm::kPBSymPDSchedRep, p);
+  }
+
+  // Rank: feasible first, then by predicted time.
+  std::vector<std::size_t> order(advice.ranking.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& pa = advice.ranking[a];
+    const auto& pb = advice.ranking[b];
+    if (pa.feasible != pb.feasible) return pa.feasible;
+    return pa.seconds < pb.seconds;
+  });
+  Advice sorted;
+  sorted.ranking.reserve(order.size());
+  sorted.configs.reserve(order.size());
+  for (const std::size_t i : order) {
+    sorted.ranking.push_back(std::move(advice.ranking[i]));
+    sorted.configs.push_back(std::move(advice.configs[i]));
+  }
+  return sorted;
+}
+
+}  // namespace stkde::model

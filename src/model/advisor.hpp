@@ -1,0 +1,33 @@
+#pragma once
+/// \file advisor.hpp
+/// Strategy selection on top of the cost model: "finding the best execution
+/// strategy becomes a combinatorial problem" (paper §6.5). The advisor
+/// enumerates strategies (and a small set of decompositions for the DD/PD
+/// family), drops infeasible ones, and ranks by predicted time.
+
+#include <vector>
+
+#include "model/cost_model.hpp"
+
+namespace stkde::model {
+
+struct Advice {
+  /// Ranked predictions, fastest feasible first (infeasible entries last).
+  std::vector<StrategyPrediction> ranking;
+  /// Parameters (decomposition filled in) matching ranking[i].
+  std::vector<Params> configs;
+
+  /// The winner's algorithm/config; ranking must be non-empty.
+  [[nodiscard]] const StrategyPrediction& best() const { return ranking.front(); }
+  [[nodiscard]] const Params& best_config() const { return configs.front(); }
+};
+
+/// Enumerate strategies x decompositions ({4,8,16,32}^3 by default) and
+/// rank by predicted wall time under \p machine.
+[[nodiscard]] Advice advise(const MachineProfile& machine,
+                            const PointSet& points, const DomainSpec& dom,
+                            const Params& base_params,
+                            const std::vector<std::int32_t>& decomp_sizes = {
+                                4, 8, 16, 32});
+
+}  // namespace stkde::model

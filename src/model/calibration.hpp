@@ -1,0 +1,16 @@
+#pragma once
+/// \file calibration.hpp
+/// Micro-measurements that fill a MachineProfile on the current host.
+/// Each probe runs for a few milliseconds; the full calibration is ~0.1 s.
+
+#include "model/cost_model.hpp"
+
+namespace stkde::model {
+
+/// Measure init/reduce bandwidth, PB-SYM scatter throughput, invariant
+/// table fill rate, and binning throughput on synthetic micro-workloads.
+/// \p budget_bytes overrides the profile's memory budget (0 = use the
+/// process budget from util::MemoryBudget).
+[[nodiscard]] MachineProfile calibrate(std::uint64_t budget_bytes = 0);
+
+}  // namespace stkde::model

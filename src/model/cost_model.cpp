@@ -1,0 +1,225 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/load.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/replication.hpp"
+#include "sched/simulator.hpp"
+
+namespace stkde::model {
+
+std::string MachineProfile::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "init=%.2fGB/s reduce=%.2fGB/s kernel=%.0fMvox/s "
+                "table=%.0fMent/s bin=%.1fMpts/s memcap=%.1f mem=%.1fGB",
+                init_bytes_per_sec / 1e9, reduce_bytes_per_sec / 1e9,
+                kernel_voxels_per_sec / 1e6, table_entries_per_sec / 1e6,
+                bin_points_per_sec / 1e6, memory_parallel_cap,
+                static_cast<double>(memory_bytes) / (1 << 30) / 1.0);
+  return buf;
+}
+
+namespace {
+
+struct InstanceTerms {
+  std::int64_t voxels = 0;
+  std::uint64_t grid_bytes = 0;
+  double n = 0.0;
+  double cyl_voxels = 0.0;    // (2Hs+1)^2 (2Ht+1)
+  double table_entries = 0.0; // (2Hs+1)^2 + (2Ht+1)
+  std::int32_t Hs = 1, Ht = 1;
+};
+
+InstanceTerms terms_of(const PointSet& pts, const DomainSpec& dom,
+                       const Params& p) {
+  InstanceTerms t;
+  t.voxels = dom.dims().voxels();
+  t.grid_bytes = static_cast<std::uint64_t>(t.voxels) * sizeof(float);
+  t.n = static_cast<double>(pts.size());
+  t.Hs = dom.spatial_bandwidth_voxels(p.hs);
+  t.Ht = dom.temporal_bandwidth_voxels(p.ht);
+  const double side = 2.0 * t.Hs + 1.0, depth = 2.0 * t.Ht + 1.0;
+  t.cyl_voxels = side * side * depth;
+  t.table_entries = side * side + depth;
+  return t;
+}
+
+double mem_phase_seconds(const MachineProfile& m, double bytes, int P,
+                         double rate) {
+  // Memory phases parallelize only up to memory_parallel_cap (paper §6.3).
+  const double eff = std::min<double>(P, m.memory_parallel_cap);
+  return bytes / rate / eff;
+}
+
+double compute_seconds_seq(const MachineProfile& m, const InstanceTerms& t) {
+  return (t.n * t.cyl_voxels) / m.kernel_voxels_per_sec +
+         (t.n * t.table_entries) / m.table_entries_per_sec;
+}
+
+}  // namespace
+
+StrategyPrediction predict(const MachineProfile& m, const PointSet& pts,
+                           const DomainSpec& dom, const Params& p,
+                           Algorithm alg) {
+  const InstanceTerms t = terms_of(pts, dom, p);
+  const int P = p.resolved_threads();
+  StrategyPrediction out;
+  out.algorithm = alg;
+  const double init_seq =
+      static_cast<double>(t.grid_bytes) / m.init_bytes_per_sec;
+  const double compute_seq = compute_seconds_seq(m, t);
+
+  switch (alg) {
+    case Algorithm::kPBSym: {
+      out.bytes = t.grid_bytes;
+      out.init_seconds = init_seq;
+      out.compute_seconds = compute_seq;
+      out.note = "sequential baseline";
+      break;
+    }
+    case Algorithm::kPBSymDR: {
+      out.bytes = t.grid_bytes * (static_cast<std::uint64_t>(P) + 1);
+      out.init_seconds =
+          mem_phase_seconds(m, static_cast<double>(t.grid_bytes) * P, P,
+                            m.init_bytes_per_sec);
+      out.compute_seconds = compute_seq / P;
+      out.overhead_seconds =
+          mem_phase_seconds(m, static_cast<double>(t.grid_bytes) * P, P,
+                            m.reduce_bytes_per_sec);
+      out.note = "P grid replicas + reduction";
+      break;
+    }
+    case Algorithm::kPBSymDD: {
+      const VoxelMapper map(dom);
+      const Decomposition dec = Decomposition::uniform(dom.dims(), p.decomp);
+      const PointBins bins = bin_by_intersection(pts, map, dec, t.Hs, t.Ht);
+      const double repl = bins.replication_factor(pts.size());
+      // Per-subdomain task model: replicated points recompute tables but
+      // only accumulate their clipped share of the cylinder.
+      std::vector<double> costs(static_cast<std::size_t>(dec.count()));
+      for (std::size_t v = 0; v < costs.size(); ++v)
+        costs[v] = static_cast<double>(bins.bins[v].size()) *
+                   (t.cyl_voxels / repl / m.kernel_voxels_per_sec +
+                    t.table_entries / m.table_entries_per_sec);
+      // Independent tasks: LPT list schedule = phased sim, single color.
+      sched::Coloring one;
+      one.color.assign(costs.size(), 0);
+      one.num_colors = 1;
+      out.bytes = t.grid_bytes;
+      out.init_seconds = mem_phase_seconds(
+          m, static_cast<double>(t.grid_bytes), P, m.init_bytes_per_sec);
+      out.compute_seconds = sched::simulate_phased_schedule(one, costs, P).makespan;
+      out.overhead_seconds = t.n / m.bin_points_per_sec;
+      char note[64];
+      std::snprintf(note, sizeof(note), "replication factor %.2f", repl);
+      out.note = note;
+      break;
+    }
+    case Algorithm::kPBSymPD:
+    case Algorithm::kPBSymPDSched:
+    case Algorithm::kPBSymPDRep:
+    case Algorithm::kPBSymPDSchedRep: {
+      const VoxelMapper map(dom);
+      const Decomposition dec =
+          Decomposition::clamped(dom.dims(), p.decomp, t.Hs, t.Ht);
+      const PointBins bins = bin_by_owner(pts, map, dec);
+      const double per_point = t.cyl_voxels / m.kernel_voxels_per_sec +
+                               t.table_entries / m.table_entries_per_sec;
+      std::vector<double> costs(static_cast<std::size_t>(dec.count()));
+      for (std::size_t v = 0; v < costs.size(); ++v)
+        costs[v] = static_cast<double>(bins.bins[v].size()) * per_point;
+      const sched::StencilGraph g = sched::StencilGraph::of(dec);
+      out.bytes = t.grid_bytes;
+      out.init_seconds = mem_phase_seconds(
+          m, static_cast<double>(t.grid_bytes), P, m.init_bytes_per_sec);
+      out.overhead_seconds = t.n / m.bin_points_per_sec;
+      if (alg == Algorithm::kPBSymPD) {
+        const sched::Coloring col = sched::parity_coloring(g);
+        out.compute_seconds =
+            sched::simulate_phased_schedule(col, costs, P).makespan;
+        out.note = "8 parity phases";
+      } else if (alg == Algorithm::kPBSymPDSched) {
+        const sched::Coloring col =
+            sched::greedy_coloring(g, p.order, costs);
+        out.compute_seconds =
+            sched::simulate_dag_schedule(g, col, costs, P).makespan;
+        out.note = "load-aware coloring + DAG schedule";
+      } else {
+        const bool sched_col = alg == Algorithm::kPBSymPDSchedRep;
+        const sched::Coloring col = sched::greedy_coloring(
+            g, sched_col ? p.order : sched::ColoringOrder::kNatural, costs);
+        std::vector<double> reduce_costs(costs.size());
+        std::uint64_t buf_bytes = 0;
+        const Extent3 whole = Extent3::whole(dom.dims());
+        for (std::size_t v = 0; v < costs.size(); ++v) {
+          const Extent3 halo = dec.subdomain(static_cast<std::int64_t>(v))
+                                   .expanded(t.Hs, t.Ht)
+                                   .intersect(whole);
+          reduce_costs[v] =
+              2.0 * static_cast<double>(halo.volume()) * sizeof(float) /
+              m.reduce_bytes_per_sec;
+        }
+        sched::ReplicationParams rp = p.rep;
+        rp.P = P;
+        const sched::ReplicationPlan plan =
+            sched::plan_replication(g, col, costs, reduce_costs, rp);
+        for (std::size_t v = 0; v < costs.size(); ++v)
+          if (plan.factor[v] > 1) {
+            const Extent3 halo = dec.subdomain(static_cast<std::int64_t>(v))
+                                     .expanded(t.Hs, t.Ht)
+                                     .intersect(whole);
+            buf_bytes += static_cast<std::uint64_t>(plan.factor[v]) *
+                         static_cast<std::uint64_t>(halo.volume()) *
+                         sizeof(float);
+          }
+        out.bytes = t.grid_bytes + buf_bytes;
+        const auto eff =
+            sched::effective_weights(costs, reduce_costs, plan.factor);
+        out.compute_seconds =
+            sched::simulate_dag_schedule(g, col, eff, P).makespan;
+        char note[96];
+        std::snprintf(note, sizeof(note),
+                      "replicated %lld tasks (max factor %d)",
+                      static_cast<long long>(plan.replicated_count()),
+                      plan.max_factor());
+        out.note = note;
+      }
+      break;
+    }
+    default: {
+      // Sequential algorithms other than PB-SYM are never advised; model
+      // them as PB-SYM with a conservative factor.
+      out.bytes = t.grid_bytes;
+      out.init_seconds = init_seq;
+      out.compute_seconds = compute_seq;
+      out.note = "sequential";
+      break;
+    }
+  }
+  out.seconds = out.init_seconds + out.compute_seconds + out.overhead_seconds;
+  out.feasible = out.bytes <= m.memory_bytes;
+  return out;
+}
+
+std::vector<StrategyPrediction> predict_all(const MachineProfile& m,
+                                            const PointSet& pts,
+                                            const DomainSpec& dom,
+                                            const Params& p) {
+  const std::vector<Algorithm> candidates = {
+      Algorithm::kPBSym,         Algorithm::kPBSymDR,
+      Algorithm::kPBSymDD,       Algorithm::kPBSymPD,
+      Algorithm::kPBSymPDSched,  Algorithm::kPBSymPDRep,
+      Algorithm::kPBSymPDSchedRep};
+  std::vector<StrategyPrediction> out;
+  out.reserve(candidates.size());
+  for (const Algorithm a : candidates) out.push_back(predict(m, pts, dom, p, a));
+  return out;
+}
+
+}  // namespace stkde::model

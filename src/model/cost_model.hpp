@@ -1,0 +1,64 @@
+#pragma once
+/// \file cost_model.hpp
+/// Parametric performance/memory model for the parallel strategies — the
+/// model the paper calls for in §6.5: "develop a parametric model ... that
+/// will take into account memory availability, cost of memory
+/// initialization, expected cost of computing the kernel density. Using
+/// that model finding the best execution strategy becomes a combinatorial
+/// problem."
+///
+/// Machine constants come from calibration.hpp; instance terms (voxels, n,
+/// bandwidths, per-subdomain loads) come from the actual input, so the
+/// compute-phase prediction for the PD family is a list-schedule simulation
+/// over the modeled task costs, not a closed-form guess.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "geom/domain.hpp"
+#include "geom/point.hpp"
+
+namespace stkde::model {
+
+/// Measured machine constants (units: per second / bytes).
+struct MachineProfile {
+  double init_bytes_per_sec = 4.0e9;    ///< grid memset bandwidth
+  double reduce_bytes_per_sec = 3.0e9;  ///< replica-sum bandwidth
+  double kernel_voxels_per_sec = 5.0e8; ///< PB-SYM cylinder-voxel rate
+  double table_entries_per_sec = 2.0e8; ///< invariant-table fill rate
+  double bin_points_per_sec = 3.0e7;    ///< binning throughput
+  double memory_parallel_cap = 3.0;     ///< max speedup of memory phases
+                                        ///< (paper §6.3 measures ~3 at 16T)
+  std::uint64_t memory_bytes = 8ULL << 30;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Predicted cost of one (algorithm, configuration) choice.
+struct StrategyPrediction {
+  Algorithm algorithm = Algorithm::kPBSym;
+  bool feasible = true;       ///< false => memory budget exceeded
+  double seconds = 0.0;       ///< predicted wall time
+  std::uint64_t bytes = 0;    ///< predicted peak memory
+  double init_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double overhead_seconds = 0.0;  ///< bin/plan/reduce terms
+  std::string note;           ///< human-readable explanation
+};
+
+/// Predict one strategy on a concrete instance. For the decomposed
+/// strategies the per-subdomain loads are derived from the real points.
+[[nodiscard]] StrategyPrediction predict(const MachineProfile& machine,
+                                         const PointSet& points,
+                                         const DomainSpec& dom,
+                                         const Params& params,
+                                         Algorithm algorithm);
+
+/// Predict every parallel strategy (plus sequential PB-SYM as baseline).
+[[nodiscard]] std::vector<StrategyPrediction> predict_all(
+    const MachineProfile& machine, const PointSet& points,
+    const DomainSpec& dom, const Params& params);
+
+}  // namespace stkde::model

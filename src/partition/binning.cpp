@@ -1,0 +1,65 @@
+#include "partition/binning.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace stkde {
+
+std::vector<std::uint64_t> PointBins::loads() const {
+  std::vector<std::uint64_t> l(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) l[i] = bins[i].size();
+  return l;
+}
+
+namespace {
+void check_index_range(std::size_t n) {
+  if (n > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("binning: more than 2^32-1 points");
+}
+}  // namespace
+
+PointBins bin_by_owner(const PointSet& points, const VoxelMapper& map,
+                       const Decomposition& decomp) {
+  check_index_range(points.size());
+  PointBins out;
+  out.bins.resize(static_cast<std::size_t>(decomp.count()));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Voxel v = map.voxel_of(points[i]);
+    out.bins[static_cast<std::size_t>(decomp.owner(v))].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  out.total_entries = points.size();
+  return out;
+}
+
+PointBins bin_by_intersection(const PointSet& points, const VoxelMapper& map,
+                              const Decomposition& decomp, std::int32_t Hs,
+                              std::int32_t Ht) {
+  check_index_range(points.size());
+  PointBins out;
+  out.bins.resize(static_cast<std::size_t>(decomp.count()));
+  const Extent3 whole = Extent3::whole(map.dims());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Voxel v = map.voxel_of(points[i]);
+    const Extent3 cyl = Extent3::cylinder(v, Hs, Ht).intersect(whole);
+    if (cyl.empty()) continue;
+    // Subdomain index ranges overlapped by the (clipped) cylinder. Bounds
+    // are inclusive voxels cyl.lo .. cyl.hi-1.
+    const std::int32_t a_lo = decomp.bin_x(cyl.xlo);
+    const std::int32_t a_hi = decomp.bin_x(cyl.xhi - 1);
+    const std::int32_t b_lo = decomp.bin_y(cyl.ylo);
+    const std::int32_t b_hi = decomp.bin_y(cyl.yhi - 1);
+    const std::int32_t c_lo = decomp.bin_t(cyl.tlo);
+    const std::int32_t c_hi = decomp.bin_t(cyl.thi - 1);
+    for (std::int32_t a = a_lo; a <= a_hi; ++a)
+      for (std::int32_t b = b_lo; b <= b_hi; ++b)
+        for (std::int32_t c = c_lo; c <= c_hi; ++c) {
+          out.bins[static_cast<std::size_t>(decomp.flat(a, b, c))].push_back(
+              static_cast<std::uint32_t>(i));
+          ++out.total_entries;
+        }
+  }
+  return out;
+}
+
+}  // namespace stkde

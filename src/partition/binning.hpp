@@ -1,0 +1,49 @@
+#pragma once
+/// \file binning.hpp
+/// Point binning for the decomposed algorithms.
+///
+/// - bin_by_owner(): each point goes to the single subdomain containing its
+///   voxel (PB-SYM-PD family: work-efficient, no replication).
+/// - bin_by_intersection(): each point goes to *every* subdomain its density
+///   cylinder intersects (PB-SYM-DD: points near boundaries are replicated;
+///   replication_factor() quantifies the induced work overhead, Fig. 9).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/decomposition.hpp"
+
+namespace stkde {
+
+/// Result of a binning pass: per-subdomain lists of point indices into the
+/// original PointSet (indices, not copies: eBird-scale sets stay shared).
+struct PointBins {
+  std::vector<std::vector<std::uint32_t>> bins;  ///< indexed by flat subdomain
+  std::uint64_t total_entries = 0;               ///< sum of bin sizes
+
+  /// Average number of subdomains a point landed in (1.0 = no replication).
+  [[nodiscard]] double replication_factor(std::size_t n_points) const {
+    return n_points == 0 ? 1.0
+                         : static_cast<double>(total_entries) /
+                               static_cast<double>(n_points);
+  }
+
+  /// Per-subdomain point counts (the task loads used by SCHED/REP).
+  [[nodiscard]] std::vector<std::uint64_t> loads() const;
+};
+
+/// PD binning: owner subdomain only. Always total_entries == points.size().
+[[nodiscard]] PointBins bin_by_owner(const PointSet& points,
+                                     const VoxelMapper& map,
+                                     const Decomposition& decomp);
+
+/// DD binning: all subdomains whose voxel box intersects the point's
+/// cylinder [Xi-Hs, Xi+Hs] x [Yi-Hs, Yi+Hs] x [Ti-Ht, Ti+Ht].
+[[nodiscard]] PointBins bin_by_intersection(const PointSet& points,
+                                            const VoxelMapper& map,
+                                            const Decomposition& decomp,
+                                            std::int32_t Hs, std::int32_t Ht);
+
+}  // namespace stkde

@@ -1,0 +1,135 @@
+#include "partition/decomposition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stkde {
+
+std::string DecompRequest::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%dx%dx%d", a, b, c);
+  return buf;
+}
+
+namespace {
+
+std::vector<std::int32_t> uniform_bounds(std::int32_t g, std::int32_t parts) {
+  parts = std::clamp<std::int32_t>(parts, 1, g);
+  std::vector<std::int32_t> b(static_cast<std::size_t>(parts) + 1);
+  for (std::int32_t i = 0; i <= parts; ++i)
+    b[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(i) * g) / parts);
+  return b;
+}
+
+std::vector<std::int32_t> cell_bounds(std::int32_t g, std::int32_t cell) {
+  cell = std::max<std::int32_t>(1, cell);
+  std::vector<std::int32_t> b;
+  for (std::int32_t v = 0; v < g; v += cell) b.push_back(v);
+  b.push_back(g);
+  return b;
+}
+
+/// Cap parts so floor(g/parts) >= min_width (the PD safety rule).
+std::int32_t cap_parts(std::int32_t g, std::int32_t parts,
+                       std::int32_t min_width) {
+  if (min_width <= 0) return parts;
+  const std::int32_t cap = std::max<std::int32_t>(1, g / min_width);
+  return std::min(parts, cap);
+}
+
+}  // namespace
+
+Decomposition Decomposition::uniform(const GridDims& dims,
+                                     const DecompRequest& req) {
+  if (req.a < 1 || req.b < 1 || req.c < 1)
+    throw std::invalid_argument("Decomposition: parts must be >= 1");
+  return Decomposition(dims, uniform_bounds(dims.gx, req.a),
+                       uniform_bounds(dims.gy, req.b),
+                       uniform_bounds(dims.gt, req.c));
+}
+
+Decomposition Decomposition::clamped(const GridDims& dims,
+                                     const DecompRequest& req, std::int32_t Hs,
+                                     std::int32_t Ht) {
+  DecompRequest adj = req;
+  adj.a = cap_parts(dims.gx, std::min(req.a, dims.gx), 2 * Hs);
+  adj.b = cap_parts(dims.gy, std::min(req.b, dims.gy), 2 * Hs);
+  adj.c = cap_parts(dims.gt, std::min(req.c, dims.gt), 2 * Ht);
+  adj.a = std::max(adj.a, 1);
+  adj.b = std::max(adj.b, 1);
+  adj.c = std::max(adj.c, 1);
+  return uniform(dims, adj);
+}
+
+Decomposition Decomposition::by_cell_size(const GridDims& dims, std::int32_t sx,
+                                          std::int32_t sy, std::int32_t st) {
+  return Decomposition(dims, cell_bounds(dims.gx, sx), cell_bounds(dims.gy, sy),
+                       cell_bounds(dims.gt, st));
+}
+
+Decomposition::Decomposition(const GridDims& dims, std::vector<std::int32_t> xb,
+                             std::vector<std::int32_t> yb,
+                             std::vector<std::int32_t> tb)
+    : dims_(dims), xb_(std::move(xb)), yb_(std::move(yb)), tb_(std::move(tb)) {
+  a_ = static_cast<std::int32_t>(xb_.size()) - 1;
+  b_ = static_cast<std::int32_t>(yb_.size()) - 1;
+  c_ = static_cast<std::int32_t>(tb_.size()) - 1;
+}
+
+Extent3 Decomposition::subdomain(std::int32_t a, std::int32_t b,
+                                 std::int32_t c) const {
+  return Extent3{xb_[static_cast<std::size_t>(a)],
+                 xb_[static_cast<std::size_t>(a) + 1],
+                 yb_[static_cast<std::size_t>(b)],
+                 yb_[static_cast<std::size_t>(b) + 1],
+                 tb_[static_cast<std::size_t>(c)],
+                 tb_[static_cast<std::size_t>(c) + 1]};
+}
+
+Extent3 Decomposition::subdomain(std::int64_t f) const {
+  std::int32_t a, b, c;
+  coords(f, a, b, c);
+  return subdomain(a, b, c);
+}
+
+void Decomposition::coords(std::int64_t f, std::int32_t& a, std::int32_t& b,
+                           std::int32_t& c) const {
+  c = static_cast<std::int32_t>(f % c_);
+  f /= c_;
+  b = static_cast<std::int32_t>(f % b_);
+  a = static_cast<std::int32_t>(f / b_);
+}
+
+std::int32_t Decomposition::bin_of(const std::vector<std::int32_t>& bounds,
+                                   std::int32_t v) {
+  // bounds is strictly increasing with front()=0, back()=G; clamp v inside.
+  v = std::clamp<std::int32_t>(v, 0, bounds.back() - 1);
+  const auto it = std::upper_bound(bounds.begin() + 1, bounds.end(), v);
+  return static_cast<std::int32_t>(it - bounds.begin()) - 1;
+}
+
+std::int32_t Decomposition::bin_x(std::int32_t X) const { return bin_of(xb_, X); }
+std::int32_t Decomposition::bin_y(std::int32_t Y) const { return bin_of(yb_, Y); }
+std::int32_t Decomposition::bin_t(std::int32_t T) const { return bin_of(tb_, T); }
+
+namespace {
+std::int32_t min_gap(const std::vector<std::int32_t>& b) {
+  std::int32_t m = b.back();
+  for (std::size_t i = 1; i < b.size(); ++i) m = std::min(m, b[i] - b[i - 1]);
+  return m;
+}
+}  // namespace
+
+std::int32_t Decomposition::min_width_x() const { return min_gap(xb_); }
+std::int32_t Decomposition::min_width_y() const { return min_gap(yb_); }
+std::int32_t Decomposition::min_width_t() const { return min_gap(tb_); }
+
+std::string Decomposition::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%dx%dx%d", a_, b_, c_);
+  return buf;
+}
+
+}  // namespace stkde

@@ -1,0 +1,101 @@
+#pragma once
+/// \file decomposition.hpp
+/// Uniform A x B x C decompositions of the voxel grid (paper §4.2, §5.1).
+///
+/// Subdomain (a, b, c) covers the half-open voxel box
+///   [floor(a Gx / A), floor((a+1) Gx / A)) x ... (likewise for y, t).
+///
+/// PB-SYM-PD requires each subdomain to be at least twice the bandwidth per
+/// axis (2Hs spatially, 2Ht temporally) so that same-parity subdomains are
+/// conflict-free; clamped() adjusts a requested decomposition to honor that
+/// rule, exactly as the paper's experiments do ("decompositions of subdomain
+/// smaller than twice the bandwidths are adjusted", Fig. 11).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/domain.hpp"
+#include "grid/extent.hpp"
+
+namespace stkde {
+
+/// Requested decomposition granularity (paper's "AxBxC", e.g. 8x8x8).
+struct DecompRequest {
+  std::int32_t a = 8;
+  std::int32_t b = 8;
+  std::int32_t c = 8;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const DecompRequest&, const DecompRequest&) = default;
+};
+
+class Decomposition {
+ public:
+  /// Uniform decomposition with exactly min(request, dims) parts per axis.
+  static Decomposition uniform(const GridDims& dims, const DecompRequest& req);
+
+  /// PD-rule decomposition: parts per axis additionally capped so every
+  /// subdomain spans >= 2Hs voxels spatially and >= 2Ht temporally.
+  static Decomposition clamped(const GridDims& dims, const DecompRequest& req,
+                               std::int32_t Hs, std::int32_t Ht);
+
+  /// Decomposition by fixed cell size (used by VB-DEC, whose blocks have
+  /// the size of the bandwidth): cells of (Hs, Hs, Ht) voxels.
+  static Decomposition by_cell_size(const GridDims& dims, std::int32_t sx,
+                                    std::int32_t sy, std::int32_t st);
+
+  [[nodiscard]] std::int32_t a() const { return a_; }
+  [[nodiscard]] std::int32_t b() const { return b_; }
+  [[nodiscard]] std::int32_t c() const { return c_; }
+  [[nodiscard]] std::int64_t count() const {
+    return static_cast<std::int64_t>(a_) * b_ * c_;
+  }
+  [[nodiscard]] GridDims dims() const { return dims_; }
+
+  /// Voxel box of subdomain (a, b, c).
+  [[nodiscard]] Extent3 subdomain(std::int32_t a, std::int32_t b,
+                                  std::int32_t c) const;
+  /// Voxel box of subdomain by flat index.
+  [[nodiscard]] Extent3 subdomain(std::int64_t flat) const;
+
+  /// Flat index of subdomain (a, b, c): (a*B + b)*C + c.
+  [[nodiscard]] std::int64_t flat(std::int32_t a, std::int32_t b,
+                                  std::int32_t c) const {
+    return (static_cast<std::int64_t>(a) * b_ + b) * c_ + c;
+  }
+  /// Inverse of flat().
+  void coords(std::int64_t flat, std::int32_t& a, std::int32_t& b,
+              std::int32_t& c) const;
+
+  /// Subdomain index containing voxel coordinate along each axis.
+  [[nodiscard]] std::int32_t bin_x(std::int32_t X) const;
+  [[nodiscard]] std::int32_t bin_y(std::int32_t Y) const;
+  [[nodiscard]] std::int32_t bin_t(std::int32_t T) const;
+
+  /// Flat subdomain index owning voxel v.
+  [[nodiscard]] std::int64_t owner(const Voxel& v) const {
+    return flat(bin_x(v.x), bin_y(v.y), bin_t(v.t));
+  }
+
+  /// Smallest subdomain width per axis (diagnostic for the PD rule).
+  [[nodiscard]] std::int32_t min_width_x() const;
+  [[nodiscard]] std::int32_t min_width_y() const;
+  [[nodiscard]] std::int32_t min_width_t() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Decomposition(const GridDims& dims, std::vector<std::int32_t> xb,
+                std::vector<std::int32_t> yb, std::vector<std::int32_t> tb);
+
+  static std::int32_t bin_of(const std::vector<std::int32_t>& bounds,
+                             std::int32_t v);
+
+  GridDims dims_{};
+  std::int32_t a_ = 0, b_ = 0, c_ = 0;
+  // bounds per axis, length parts+1, bounds.front()=0, bounds.back()=G.
+  std::vector<std::int32_t> xb_, yb_, tb_;
+};
+
+}  // namespace stkde

@@ -1,0 +1,38 @@
+#include "partition/load.hpp"
+
+namespace stkde {
+
+std::vector<double> point_count_loads(const PointBins& bins) {
+  std::vector<double> l(bins.bins.size());
+  for (std::size_t i = 0; i < bins.bins.size(); ++i)
+    l[i] = static_cast<double>(bins.bins[i].size());
+  return l;
+}
+
+std::vector<double> neighborhood_loads(const Decomposition& decomp,
+                                       const std::vector<double>& own_loads) {
+  std::vector<double> out(own_loads.size(), 0.0);
+  const std::int32_t A = decomp.a(), B = decomp.b(), C = decomp.c();
+  for (std::int32_t a = 0; a < A; ++a)
+    for (std::int32_t b = 0; b < B; ++b)
+      for (std::int32_t c = 0; c < C; ++c) {
+        double sum = 0.0;
+        for (std::int32_t da = -1; da <= 1; ++da)
+          for (std::int32_t db = -1; db <= 1; ++db)
+            for (std::int32_t dc = -1; dc <= 1; ++dc) {
+              const std::int32_t na = a + da, nb = b + db, nc = c + dc;
+              if (na < 0 || na >= A || nb < 0 || nb >= B || nc < 0 || nc >= C)
+                continue;
+              sum += own_loads[static_cast<std::size_t>(
+                  decomp.flat(na, nb, nc))];
+            }
+        out[static_cast<std::size_t>(decomp.flat(a, b, c))] = sum;
+      }
+  return out;
+}
+
+util::LoadBalance imbalance(const std::vector<double>& loads) {
+  return util::load_balance(loads);
+}
+
+}  // namespace stkde

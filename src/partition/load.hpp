@@ -1,0 +1,30 @@
+#pragma once
+/// \file load.hpp
+/// Per-subdomain load models and imbalance diagnostics (paper §4.2, §5.2:
+/// "the points are unlikely to be equally distributed ... more likely
+/// clustered around some locations").
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/binning.hpp"
+#include "partition/decomposition.hpp"
+#include "util/stats.hpp"
+
+namespace stkde {
+
+/// Task-cost model for a subdomain. The cost of processing a subdomain's
+/// points is proportional to the points' cylinder volume; point count is a
+/// good proxy at fixed bandwidth, which is how the paper weighs vertices.
+[[nodiscard]] std::vector<double> point_count_loads(const PointBins& bins);
+
+/// Paper §5.2 weighs a vertex by "the number of points inside the sub-domain
+/// the vertex represents and the neighboring subdomains": load of v plus its
+/// 26 stencil neighbors. Used as an alternative vertex weight.
+[[nodiscard]] std::vector<double> neighborhood_loads(
+    const Decomposition& decomp, const std::vector<double>& own_loads);
+
+/// max/mean imbalance over subdomain loads.
+[[nodiscard]] util::LoadBalance imbalance(const std::vector<double>& loads);
+
+}  // namespace stkde

@@ -1,0 +1,148 @@
+#include "sched/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace stkde::sched {
+
+std::string to_string(ColoringOrder o) {
+  switch (o) {
+    case ColoringOrder::kNatural: return "natural";
+    case ColoringOrder::kLoadDescending: return "load-desc";
+    case ColoringOrder::kSmallestLast: return "smallest-last";
+  }
+  return "?";
+}
+
+Coloring parity_coloring(const StencilGraph& g) {
+  Coloring c;
+  c.color.resize(static_cast<std::size_t>(g.vertex_count()));
+  std::int32_t used = 0;
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    std::int32_t a, b, t;
+    g.coords(v, a, b, t);
+    const std::int32_t col = (a % 2) * 4 + (b % 2) * 2 + (t % 2);
+    c.color[static_cast<std::size_t>(v)] = col;
+    used = std::max(used, col + 1);
+  }
+  c.num_colors = used;
+  return c;
+}
+
+Coloring greedy_coloring(const StencilGraph& g,
+                         const std::vector<std::int64_t>& order) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  if (order.size() != n)
+    throw std::invalid_argument("greedy_coloring: order size mismatch");
+  Coloring c;
+  c.color.assign(n, -1);
+  // Degree of a 27-stencil vertex is at most 26, so 27 colors always suffice.
+  std::vector<bool> forbidden(27 + 1, false);
+  for (const std::int64_t v : order) {
+    std::fill(forbidden.begin(), forbidden.end(), false);
+    g.for_neighbors(v, [&](std::int64_t u) {
+      const std::int32_t cu = c.color[static_cast<std::size_t>(u)];
+      if (cu >= 0 && cu < static_cast<std::int32_t>(forbidden.size()))
+        forbidden[static_cast<std::size_t>(cu)] = true;
+    });
+    std::int32_t col = 0;
+    while (forbidden[static_cast<std::size_t>(col)]) ++col;
+    c.color[static_cast<std::size_t>(v)] = col;
+    c.num_colors = std::max(c.num_colors, col + 1);
+  }
+  return c;
+}
+
+Coloring greedy_coloring(const StencilGraph& g, ColoringOrder o,
+                         const std::vector<double>& loads) {
+  switch (o) {
+    case ColoringOrder::kNatural:
+      return greedy_coloring(g, natural_order(g.vertex_count()));
+    case ColoringOrder::kLoadDescending:
+      return greedy_coloring(g, load_descending_order(loads));
+    case ColoringOrder::kSmallestLast:
+      return greedy_coloring(g, smallest_last_order(g));
+  }
+  throw std::invalid_argument("greedy_coloring: bad order");
+}
+
+std::vector<std::int64_t> natural_order(std::int64_t n) {
+  std::vector<std::int64_t> o(static_cast<std::size_t>(n));
+  std::iota(o.begin(), o.end(), std::int64_t{0});
+  return o;
+}
+
+std::vector<std::int64_t> load_descending_order(
+    const std::vector<double>& loads) {
+  std::vector<std::int64_t> o(loads.size());
+  std::iota(o.begin(), o.end(), std::int64_t{0});
+  std::stable_sort(o.begin(), o.end(), [&](std::int64_t x, std::int64_t y) {
+    return loads[static_cast<std::size_t>(x)] >
+           loads[static_cast<std::size_t>(y)];
+  });
+  return o;
+}
+
+std::vector<std::int64_t> smallest_last_order(const StencilGraph& g) {
+  // Classic smallest-last: repeatedly remove a minimum-degree vertex; color
+  // in reverse removal order. Bucket queue over degrees (max 26).
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  std::vector<std::int64_t> deg(n);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v)
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+  std::vector<std::vector<std::int64_t>> buckets(27);
+  std::vector<bool> removed(n, false);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v)
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  std::vector<std::int64_t> removal;
+  removal.reserve(n);
+  std::size_t scan = 0;
+  while (removal.size() < n) {
+    // Find a non-stale entry in the lowest non-empty bucket.
+    std::int64_t picked = -1;
+    for (scan = 0; scan < buckets.size(); ++scan) {
+      auto& b = buckets[scan];
+      while (!b.empty()) {
+        const std::int64_t v = b.back();
+        b.pop_back();
+        if (!removed[static_cast<std::size_t>(v)] &&
+            deg[static_cast<std::size_t>(v)] ==
+                static_cast<std::int64_t>(scan)) {
+          picked = v;
+          break;
+        }
+      }
+      if (picked >= 0) break;
+    }
+    removed[static_cast<std::size_t>(picked)] = true;
+    removal.push_back(picked);
+    g.for_neighbors(picked, [&](std::int64_t u) {
+      if (removed[static_cast<std::size_t>(u)]) return;
+      auto& d = deg[static_cast<std::size_t>(u)];
+      --d;
+      buckets[static_cast<std::size_t>(d)].push_back(u);
+    });
+  }
+  std::reverse(removal.begin(), removal.end());
+  return removal;
+}
+
+bool is_valid_coloring(const StencilGraph& g, const Coloring& c) {
+  if (c.color.size() != static_cast<std::size_t>(g.vertex_count()))
+    return false;
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    if (c.color[static_cast<std::size_t>(v)] < 0) return false;
+    bool ok = true;
+    g.for_neighbors(v, [&](std::int64_t u) {
+      if (c.color[static_cast<std::size_t>(u)] ==
+          c.color[static_cast<std::size_t>(v)])
+        ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace stkde::sched

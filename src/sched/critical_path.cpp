@@ -1,0 +1,61 @@
+#include "sched/critical_path.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace stkde::sched {
+
+double DagMetrics::speedup_bound(int P) const {
+  const double denom = std::max(critical_path, total_work / P);
+  return denom > 0.0 ? total_work / denom : static_cast<double>(P);
+}
+
+DagMetrics critical_path(const StencilGraph& g, const Coloring& c,
+                         const std::vector<double>& weights) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  if (c.color.size() != n || weights.size() != n)
+    throw std::invalid_argument("critical_path: size mismatch");
+
+  // Process vertices by increasing color; dist[v] = w[v] + max over
+  // lower-colored neighbors u of dist[u].
+  std::vector<std::int64_t> order(n);
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int64_t x, std::int64_t y) {
+                     return c.color[static_cast<std::size_t>(x)] <
+                            c.color[static_cast<std::size_t>(y)];
+                   });
+
+  std::vector<double> dist(n, 0.0);
+  std::vector<std::int64_t> pred(n, -1);
+  DagMetrics m;
+  std::int64_t best = -1;
+  for (const std::int64_t v : order) {
+    double in_max = 0.0;
+    std::int64_t in_arg = -1;
+    g.for_neighbors(v, [&](std::int64_t u) {
+      if (c.color[static_cast<std::size_t>(u)] <
+          c.color[static_cast<std::size_t>(v)]) {
+        if (dist[static_cast<std::size_t>(u)] > in_max) {
+          in_max = dist[static_cast<std::size_t>(u)];
+          in_arg = u;
+        }
+      }
+    });
+    const double d = weights[static_cast<std::size_t>(v)] + in_max;
+    dist[static_cast<std::size_t>(v)] = d;
+    pred[static_cast<std::size_t>(v)] = in_arg;
+    m.total_work += weights[static_cast<std::size_t>(v)];
+    if (d > m.critical_path) {
+      m.critical_path = d;
+      best = v;
+    }
+  }
+  for (std::int64_t v = best; v >= 0; v = pred[static_cast<std::size_t>(v)])
+    m.path.push_back(v);
+  std::reverse(m.path.begin(), m.path.end());
+  return m;
+}
+
+}  // namespace stkde::sched

@@ -1,0 +1,36 @@
+#pragma once
+/// \file critical_path.hpp
+/// Critical path (T-infinity) of the DAG implied by a coloring: every stencil
+/// edge is oriented from the lower color to the higher color (paper Fig. 6),
+/// each vertex weighted by its task cost. Graham's bound then gives
+/// T_P <= (T1 - Tinf)/P + Tinf, which the paper uses to explain PD's
+/// scalability limits (Fig. 12).
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/coloring.hpp"
+#include "sched/stencil_graph.hpp"
+
+namespace stkde::sched {
+
+struct DagMetrics {
+  double total_work = 0.0;     ///< T1 = sum of vertex weights
+  double critical_path = 0.0;  ///< Tinf = heaviest color-increasing chain
+  std::vector<std::int64_t> path;  ///< one heaviest chain, source→sink
+
+  /// Graham's list-scheduling bound for P processors.
+  [[nodiscard]] double graham_bound(int P) const {
+    return (total_work - critical_path) / P + critical_path;
+  }
+  /// Upper bound on achievable speedup, T1 / max(Tinf, T1/P).
+  [[nodiscard]] double speedup_bound(int P) const;
+};
+
+/// Longest weighted chain in the coloring-oriented DAG. Weights must be
+/// non-negative. O(V * 27).
+[[nodiscard]] DagMetrics critical_path(const StencilGraph& g,
+                                       const Coloring& c,
+                                       const std::vector<double>& weights);
+
+}  // namespace stkde::sched

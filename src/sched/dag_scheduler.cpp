@@ -1,0 +1,116 @@
+#include "sched/dag_scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace stkde::sched {
+
+std::size_t DagScheduler::add_task(std::function<void()> fn, double priority) {
+  tasks_.push_back(Task{std::move(fn), priority});
+  succ_.emplace_back();
+  pred_count_.push_back(0);
+  return tasks_.size() - 1;
+}
+
+void DagScheduler::add_edge(std::size_t from, std::size_t to) {
+  if (from >= tasks_.size() || to >= tasks_.size() || from == to)
+    throw std::invalid_argument("DagScheduler::add_edge: bad endpoints");
+  succ_[from].push_back(to);
+  ++pred_count_[to];
+}
+
+double DagScheduler::makespan() const {
+  double m = 0.0;
+  for (const double f : finish_) m = std::max(m, f);
+  return m;
+}
+
+void DagScheduler::run(int threads) {
+  const std::size_t n = tasks_.size();
+  start_.assign(n, 0.0);
+  finish_.assign(n, 0.0);
+  if (n == 0) return;
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    // max-heap of (priority, id)
+    std::priority_queue<std::pair<double, std::size_t>> ready;
+    std::vector<std::size_t> pending;
+    std::size_t done = 0;
+    std::size_t running = 0;
+    bool aborted = false;
+    std::exception_ptr error;
+  } sh;
+
+  sh.pending = pred_count_;
+  for (std::size_t i = 0; i < n; ++i)
+    if (sh.pending[i] == 0) sh.ready.emplace(tasks_[i].priority, i);
+  if (sh.ready.empty())
+    throw std::logic_error("DagScheduler: no source task (cycle)");
+
+  util::Timer clock;
+  auto worker = [&] {
+    std::unique_lock lk(sh.mu);
+    for (;;) {
+      sh.cv.wait(lk, [&] {
+        return sh.aborted || !sh.ready.empty() || sh.done == n ||
+               (sh.ready.empty() && sh.running == 0);
+      });
+      if (sh.aborted || sh.done == n) return;
+      if (sh.ready.empty()) {
+        if (sh.running == 0) {
+          // No ready work, nothing running, not done: dependency cycle.
+          sh.aborted = true;
+          if (!sh.error)
+            sh.error = std::make_exception_ptr(
+                std::logic_error("DagScheduler: dependency cycle"));
+          sh.cv.notify_all();
+          return;
+        }
+        continue;
+      }
+      const std::size_t id = sh.ready.top().second;
+      sh.ready.pop();
+      ++sh.running;
+      start_[id] = clock.seconds();
+      lk.unlock();
+      try {
+        tasks_[id].fn();
+      } catch (...) {
+        lk.lock();
+        if (!sh.error) sh.error = std::current_exception();
+        sh.aborted = true;
+        --sh.running;
+        sh.cv.notify_all();
+        return;
+      }
+      lk.lock();
+      finish_[id] = clock.seconds();
+      --sh.running;
+      ++sh.done;
+      for (const std::size_t s : succ_[id])
+        if (--sh.pending[s] == 0) sh.ready.emplace(tasks_[s].priority, s);
+      sh.cv.notify_all();
+      if (sh.done == n) return;
+    }
+  };
+
+  const int nw = std::max(1, threads);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nw));
+  for (int i = 0; i < nw; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (sh.error) std::rethrow_exception(sh.error);
+  if (sh.done != n) throw std::logic_error("DagScheduler: dependency cycle");
+}
+
+}  // namespace stkde::sched

@@ -1,0 +1,83 @@
+#include "sched/replication.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stkde::sched {
+
+std::int64_t ReplicationPlan::replicated_count() const {
+  std::int64_t n = 0;
+  for (const auto f : factor)
+    if (f > 1) ++n;
+  return n;
+}
+
+std::int32_t ReplicationPlan::max_factor() const {
+  std::int32_t m = 1;
+  for (const auto f : factor) m = std::max(m, f);
+  return m;
+}
+
+std::vector<double> effective_weights(const std::vector<double>& compute_costs,
+                                      const std::vector<double>& reduce_costs,
+                                      const std::vector<std::int32_t>& factor) {
+  if (compute_costs.size() != reduce_costs.size() ||
+      compute_costs.size() != factor.size())
+    throw std::invalid_argument("effective_weights: size mismatch");
+  std::vector<double> w(compute_costs.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const auto r = static_cast<double>(factor[i]);
+    w[i] = compute_costs[i] / r +
+           (factor[i] > 1 ? reduce_costs[i] * r : 0.0);
+  }
+  return w;
+}
+
+ReplicationPlan plan_replication(const StencilGraph& g, const Coloring& c,
+                                 const std::vector<double>& compute_costs,
+                                 const std::vector<double>& reduce_costs,
+                                 const ReplicationParams& params) {
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  if (compute_costs.size() != n || reduce_costs.size() != n)
+    throw std::invalid_argument("plan_replication: size mismatch");
+  if (params.P < 1) throw std::invalid_argument("plan_replication: P < 1");
+
+  ReplicationPlan plan;
+  plan.factor.assign(n, 1);
+
+  DagMetrics m = critical_path(g, c, compute_costs);
+  plan.initial_cp = m.critical_path;
+  plan.total_work = m.total_work;
+  const double target = params.threshold_num * m.total_work /
+                        (params.threshold_den * params.P);
+
+  double cp = m.critical_path;
+  while (cp > target && plan.rounds < params.max_rounds) {
+    // Replicate every vertex on the current critical path once more
+    // (capped); stop if nothing can be replicated further.
+    const std::vector<std::int32_t> before = plan.factor;
+    bool changed = false;
+    for (const std::int64_t v : m.path) {
+      auto& f = plan.factor[static_cast<std::size_t>(v)];
+      if (f < params.max_factor) {
+        ++f;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    m = critical_path(g, c,
+                      effective_weights(compute_costs, reduce_costs, plan.factor));
+    // Replication adds reduce work; when a round no longer shrinks the path
+    // (reduce cost dominates), roll it back and stop.
+    if (m.critical_path >= cp) {
+      plan.factor = before;
+      break;
+    }
+    ++plan.rounds;
+    cp = m.critical_path;
+  }
+  plan.final_cp = cp;
+  return plan;
+}
+
+}  // namespace stkde::sched

@@ -1,0 +1,58 @@
+#pragma once
+/// \file replication.hpp
+/// Moldable-task replication planning for PB-SYM-PD-REP (paper §5.2):
+/// "As long as the critical path is longer than n/(2P), the tasks on the
+/// path are replicated an additional time and the critical path is
+/// recomputed." Replicating a subdomain splits its point list across r
+/// parallel replica tasks writing private halo buffers, followed by one
+/// reduce task — so the vertex's effective chain weight drops to
+/// cost/r + reduce_cost(r).
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/coloring.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/stencil_graph.hpp"
+
+namespace stkde::sched {
+
+struct ReplicationPlan {
+  std::vector<std::int32_t> factor;  ///< r_v >= 1 per vertex
+  double initial_cp = 0.0;           ///< critical path before replication
+  double final_cp = 0.0;             ///< critical path after replication
+  double total_work = 0.0;           ///< T1 before replication
+  int rounds = 0;                    ///< replication iterations performed
+
+  /// Number of vertices with factor > 1.
+  [[nodiscard]] std::int64_t replicated_count() const;
+  /// Max replication factor.
+  [[nodiscard]] std::int32_t max_factor() const;
+};
+
+struct ReplicationParams {
+  int P = 1;                  ///< target processor count
+  double threshold_num = 1.0; ///< stop when cp <= threshold_num*T1/(threshold_den*P)
+  double threshold_den = 2.0; ///< paper default: T1/(2P)
+  int max_rounds = 64;        ///< safety bound on planning iterations
+  std::int32_t max_factor = 64; ///< cap on any single vertex's r_v
+};
+
+/// Plan replication factors. \p compute_costs is the per-vertex point
+/// processing cost; \p reduce_costs is the cost of one buffer reduction for
+/// that vertex (proportional to its halo volume). Effective vertex weight
+/// under factor r: compute/r + (r > 1 ? reduce * r : 0) — every replica
+/// buffer must be initialized and reduced, mirroring PB-SYM-DR's overhead.
+[[nodiscard]] ReplicationPlan plan_replication(
+    const StencilGraph& g, const Coloring& c,
+    const std::vector<double>& compute_costs,
+    const std::vector<double>& reduce_costs, const ReplicationParams& params);
+
+/// Effective per-vertex weights implied by a plan (used by the simulator
+/// and by tests to validate monotone critical-path decrease).
+[[nodiscard]] std::vector<double> effective_weights(
+    const std::vector<double>& compute_costs,
+    const std::vector<double>& reduce_costs,
+    const std::vector<std::int32_t>& factor);
+
+}  // namespace stkde::sched

@@ -1,0 +1,48 @@
+#pragma once
+/// \file simulator.hpp
+/// Deterministic list-schedule simulators.
+///
+/// Given per-task costs and the precedence DAG, these compute the makespan a
+/// greedy list scheduler achieves on P processors. Two uses:
+///  1. Predicting speedups of the PD family from *measured* sequential task
+///     costs — this is how the bench harness reproduces the paper's 16-thread
+///     figures on machines with fewer cores (see DESIGN.md §2).
+///  2. Ablating phase-synchronous (8-color PD) vs DAG (SCHED) execution.
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/coloring.hpp"
+#include "sched/stencil_graph.hpp"
+
+namespace stkde::sched {
+
+struct SimResult {
+  double makespan = 0.0;
+  std::vector<double> start;   ///< per-task start time
+  std::vector<double> finish;  ///< per-task finish time
+};
+
+/// Simulate a greedy list schedule of the coloring-oriented DAG on \p P
+/// processors. Ready tasks are started highest-priority-first; when no
+/// processor is free, time advances to the next task completion. Priorities
+/// default to task costs when \p priorities is empty.
+[[nodiscard]] SimResult simulate_dag_schedule(
+    const StencilGraph& g, const Coloring& c, const std::vector<double>& costs,
+    int P, const std::vector<double>& priorities = {});
+
+/// Simulate phase-synchronous execution (PB-SYM-PD's 8 parallel-for phases):
+/// colors are barriers; within a color, independent tasks are list-scheduled
+/// on P processors in decreasing cost order (LPT).
+[[nodiscard]] SimResult simulate_phased_schedule(const Coloring& c,
+                                                 const std::vector<double>& costs,
+                                                 int P);
+
+/// Simulate an explicit DAG given as successor lists (used for REP's
+/// expanded replica/reduce DAG).
+[[nodiscard]] SimResult simulate_explicit_dag(
+    const std::vector<std::vector<std::int64_t>>& succ,
+    const std::vector<double>& costs, int P,
+    const std::vector<double>& priorities = {});
+
+}  // namespace stkde::sched

@@ -1,0 +1,6 @@
+#include "sched/stencil_graph.hpp"
+
+// StencilGraph is fully inline (adjacency is derived from lattice coordinates
+// on the fly). This translation unit anchors the module in the library.
+
+namespace stkde::sched {}

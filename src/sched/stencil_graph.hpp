@@ -1,0 +1,86 @@
+#pragma once
+/// \file stencil_graph.hpp
+/// The 27-point stencil conflict graph over subdomains (paper §5.2): two
+/// subdomains conflict iff they are neighbors (including diagonals) in the
+/// A x B x C decomposition lattice, because points in adjacent subdomains
+/// can radiate density into the same voxels.
+///
+/// Adjacency is computed on the fly from lattice coordinates — the graph is
+/// never materialized (64^3 subdomains would need ~7M edge slots).
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/decomposition.hpp"
+
+namespace stkde::sched {
+
+class StencilGraph {
+ public:
+  StencilGraph(std::int32_t A, std::int32_t B, std::int32_t C)
+      : a_(A), b_(B), c_(C) {}
+
+  /// Conflict graph of a decomposition's subdomains.
+  static StencilGraph of(const Decomposition& d) {
+    return StencilGraph(d.a(), d.b(), d.c());
+  }
+
+  [[nodiscard]] std::int64_t vertex_count() const {
+    return static_cast<std::int64_t>(a_) * b_ * c_;
+  }
+  [[nodiscard]] std::int32_t a() const { return a_; }
+  [[nodiscard]] std::int32_t b() const { return b_; }
+  [[nodiscard]] std::int32_t c() const { return c_; }
+
+  /// Invoke \p fn for each of v's (up to 26) neighbors.
+  template <typename F>
+  void for_neighbors(std::int64_t v, F&& fn) const {
+    std::int32_t va, vb, vc;
+    coords(v, va, vb, vc);
+    for (std::int32_t da = -1; da <= 1; ++da) {
+      const std::int32_t na = va + da;
+      if (na < 0 || na >= a_) continue;
+      for (std::int32_t db = -1; db <= 1; ++db) {
+        const std::int32_t nb = vb + db;
+        if (nb < 0 || nb >= b_) continue;
+        for (std::int32_t dc = -1; dc <= 1; ++dc) {
+          if (da == 0 && db == 0 && dc == 0) continue;
+          const std::int32_t nc = vc + dc;
+          if (nc < 0 || nc >= c_) continue;
+          fn(flat(na, nb, nc));
+        }
+      }
+    }
+  }
+
+  /// Materialized neighbor list (tests and small graphs).
+  [[nodiscard]] std::vector<std::int64_t> neighbors(std::int64_t v) const {
+    std::vector<std::int64_t> out;
+    for_neighbors(v, [&](std::int64_t u) { out.push_back(u); });
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t degree(std::int64_t v) const {
+    std::int64_t d = 0;
+    for_neighbors(v, [&](std::int64_t) { ++d; });
+    return d;
+  }
+
+  [[nodiscard]] std::int64_t flat(std::int32_t a, std::int32_t b,
+                                  std::int32_t c) const {
+    return (static_cast<std::int64_t>(a) * b_ + b) * c_ + c;
+  }
+
+  void coords(std::int64_t v, std::int32_t& a, std::int32_t& b,
+              std::int32_t& c) const {
+    c = static_cast<std::int32_t>(v % c_);
+    v /= c_;
+    b = static_cast<std::int32_t>(v % b_);
+    a = static_cast<std::int32_t>(v / b_);
+  }
+
+ private:
+  std::int32_t a_, b_, c_;
+};
+
+}  // namespace stkde::sched

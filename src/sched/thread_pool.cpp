@@ -1,0 +1,69 @@
+#include "sched/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace stkde::sched {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::unique_lock lk(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace stkde::sched

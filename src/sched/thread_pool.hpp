@@ -1,0 +1,51 @@
+#pragma once
+/// \file thread_pool.hpp
+/// A fixed-size worker pool. The DAG scheduler sits on top of it; keeping
+/// the pool separate lets tests exercise pool semantics (ordering, reuse,
+/// exception propagation) independently of DAG logic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stkde::sched {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads workers (minimum 1).
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks run in FIFO order per worker availability.
+  void submit(std::function<void()> fn);
+
+  /// Block until the queue is empty and all workers are idle. If any task
+  /// threw, rethrows the first captured exception.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace stkde::sched

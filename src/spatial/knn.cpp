@@ -1,0 +1,201 @@
+#include "spatial/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stkde::spatial {
+
+GridKnn::GridKnn(const PointSet& points, double cells_per_point) {
+  n_ = points.size();
+  px_.resize(n_);
+  py_.resize(n_);
+  double xmin = 0.0, xmax = 1.0, ymin = 0.0, ymax = 1.0;
+  if (n_ > 0) {
+    xmin = xmax = points[0].x;
+    ymin = ymax = points[0].y;
+    for (const auto& p : points) {
+      xmin = std::min(xmin, p.x);
+      xmax = std::max(xmax, p.x);
+      ymin = std::min(ymin, p.y);
+      ymax = std::max(ymax, p.y);
+    }
+  }
+  const double w = std::max(xmax - xmin, 1e-12);
+  const double h = std::max(ymax - ymin, 1e-12);
+  const double target_cells =
+      std::max(1.0, static_cast<double>(n_) * std::max(cells_per_point, 1e-3));
+  // Square-ish cells: total cells ~ target. The w/t and h/t floors keep the
+  // cell count ~t even for degenerate (collinear) point sets, where the
+  // area-based formula would produce sliver cells and quadratic ring scans.
+  cell_ = std::max({std::sqrt(w * h / target_cells), w / target_cells,
+                    h / target_cells});
+  if (!(cell_ > 0.0) || !std::isfinite(cell_)) cell_ = 1.0;
+  x0_ = xmin;
+  y0_ = ymin;
+  nx_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(w / cell_) + 1);
+  ny_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(h / cell_) + 1);
+  // Cap the bucket table to something sane for tiny cell sizes.
+  while (static_cast<std::int64_t>(nx_) * ny_ > 4'000'000) {
+    cell_ *= 2.0;
+    nx_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(w / cell_) + 1);
+    ny_ = std::max<std::int32_t>(1, static_cast<std::int32_t>(h / cell_) + 1);
+  }
+  buckets_.resize(static_cast<std::size_t>(nx_) * ny_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    px_[i] = points[i].x;
+    py_[i] = points[i].y;
+    const auto cx = std::clamp<std::int32_t>(
+        static_cast<std::int32_t>((points[i].x - x0_) / cell_), 0, nx_ - 1);
+    const auto cy = std::clamp<std::int32_t>(
+        static_cast<std::int32_t>((points[i].y - y0_) / cell_), 0, ny_ - 1);
+    buckets_[static_cast<std::size_t>(cx) * ny_ + cy].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+void GridKnn::gather_ring(std::int32_t cx, std::int32_t cy, std::int32_t ring,
+                          const Point& q, std::vector<Candidate>& out) const {
+  auto visit = [&](std::int32_t gx, std::int32_t gy) {
+    if (gx < 0 || gx >= nx_ || gy < 0 || gy >= ny_) return;
+    for (const std::uint32_t i :
+         buckets_[static_cast<std::size_t>(gx) * ny_ + gy]) {
+      const double dx = px_[i] - q.x, dy = py_[i] - q.y;
+      out.push_back(Candidate{dx * dx + dy * dy, i});
+    }
+  };
+  if (ring == 0) {
+    visit(cx, cy);
+    return;
+  }
+  for (std::int32_t d = -ring; d <= ring; ++d) {
+    visit(cx + d, cy - ring);
+    visit(cx + d, cy + ring);
+  }
+  for (std::int32_t d = -ring + 1; d <= ring - 1; ++d) {
+    visit(cx - ring, cy + d);
+    visit(cx + ring, cy + d);
+  }
+}
+
+double GridKnn::kth_distance(const Point& q, int k,
+                             bool exclude_self_matches) const {
+  if (n_ == 0 || k <= 0) return 0.0;
+  const auto cx = std::clamp<std::int32_t>(
+      static_cast<std::int32_t>((q.x - x0_) / cell_), 0, nx_ - 1);
+  const auto cy = std::clamp<std::int32_t>(
+      static_cast<std::int32_t>((q.y - y0_) / cell_), 0, ny_ - 1);
+
+  std::vector<Candidate> cands;
+  const std::int32_t max_ring = std::max(nx_, ny_);
+  double kth_best2 = std::numeric_limits<double>::infinity();
+  std::size_t needed = static_cast<std::size_t>(k);
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    // Once we hold k candidates, a further ring can only help if its nearest
+    // possible distance beats the current k-th best.
+    if (cands.size() >= needed) {
+      const double ring_min = (ring - 1) * cell_;  // conservative lower bound
+      if (ring_min > 0.0 && ring_min * ring_min > kth_best2) break;
+    }
+    const std::size_t before = cands.size();
+    gather_ring(cx, cy, ring, q, cands);
+    if (exclude_self_matches) {
+      cands.erase(std::remove_if(cands.begin() + static_cast<std::ptrdiff_t>(before),
+                                 cands.end(),
+                                 [](const Candidate& c) { return c.dist2 == 0.0; }),
+                  cands.end());
+    }
+    if (cands.size() >= needed) {
+      std::nth_element(cands.begin(),
+                       cands.begin() + static_cast<std::ptrdiff_t>(needed - 1),
+                       cands.end(), [](const Candidate& a, const Candidate& b) {
+                         return a.dist2 < b.dist2;
+                       });
+      kth_best2 = cands[needed - 1].dist2;
+    }
+  }
+  if (cands.size() < needed) {
+    if (cands.empty()) return 0.0;
+    auto it = std::max_element(cands.begin(), cands.end(),
+                               [](const Candidate& a, const Candidate& b) {
+                                 return a.dist2 < b.dist2;
+                               });
+    return std::sqrt(it->dist2);
+  }
+  return std::sqrt(kth_best2);
+}
+
+std::vector<std::uint32_t> GridKnn::nearest(const Point& q, int k) const {
+  if (n_ == 0 || k <= 0) return {};
+  const auto cx = std::clamp<std::int32_t>(
+      static_cast<std::int32_t>((q.x - x0_) / cell_), 0, nx_ - 1);
+  const auto cy = std::clamp<std::int32_t>(
+      static_cast<std::int32_t>((q.y - y0_) / cell_), 0, ny_ - 1);
+  std::vector<Candidate> cands;
+  const std::int32_t max_ring = std::max(nx_, ny_);
+  const std::size_t needed = std::min<std::size_t>(static_cast<std::size_t>(k), n_);
+  double kth_best2 = std::numeric_limits<double>::infinity();
+  for (std::int32_t ring = 0; ring <= max_ring; ++ring) {
+    if (cands.size() >= needed) {
+      const double ring_min = (ring - 1) * cell_;
+      if (ring_min > 0.0 && ring_min * ring_min > kth_best2) break;
+    }
+    gather_ring(cx, cy, ring, q, cands);
+    if (cands.size() >= needed) {
+      std::nth_element(cands.begin(),
+                       cands.begin() + static_cast<std::ptrdiff_t>(needed - 1),
+                       cands.end(), [](const Candidate& a, const Candidate& b) {
+                         return a.dist2 < b.dist2;
+                       });
+      kth_best2 = cands[needed - 1].dist2;
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist2 != b.dist2 ? a.dist2 < b.dist2
+                                        : a.index < b.index;
+            });
+  cands.resize(std::min(cands.size(), needed));
+  std::vector<std::uint32_t> out;
+  out.reserve(cands.size());
+  for (const auto& c : cands) out.push_back(c.index);
+  return out;
+}
+
+std::vector<double> GridKnn::all_kth_distances(int k) const {
+  std::vector<double> out(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Exclude the point itself by asking for k+1 and skipping one zero; but
+    // duplicates at the same location legitimately count, so exclude exactly
+    // one zero-distance match (this point).
+    const Point q{px_[i], py_[i], 0.0};
+    out[i] = kth_distance_excluding_one(q, k);
+  }
+  return out;
+}
+
+// Private helper via a small shim: k-th distance after removing exactly one
+// zero-distance candidate (the query point itself).
+double GridKnn::kth_distance_excluding_one(const Point& q, int k) const {
+  if (n_ <= 1 || k <= 0) return 0.0;
+  // Ask for k+1 neighbors; drop the first zero-distance hit.
+  const auto ids = nearest(q, k + 1);
+  std::vector<double> d2;
+  d2.reserve(ids.size());
+  bool dropped = false;
+  for (const auto i : ids) {
+    const double dx = px_[i] - q.x, dy = py_[i] - q.y;
+    const double dd = dx * dx + dy * dy;
+    if (!dropped && dd == 0.0) {
+      dropped = true;
+      continue;
+    }
+    d2.push_back(dd);
+  }
+  if (d2.empty()) return 0.0;
+  const std::size_t idx = std::min<std::size_t>(static_cast<std::size_t>(k) - 1,
+                                                d2.size() - 1);
+  return std::sqrt(d2[idx]);
+}
+
+}  // namespace stkde::spatial

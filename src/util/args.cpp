@@ -1,0 +1,65 @@
+#include "util/args.hpp"
+
+namespace stkde::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string name = a.substr(2);
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        named_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        named_[name] = argv[++i];
+      } else {
+        named_[name] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(a);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return named_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::raw(const std::string& name) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  auto v = raw(name);
+  return v ? *v : fallback;
+}
+
+double ArgParser::get(const std::string& name, double fallback) const {
+  auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+long ArgParser::get(const std::string& name, long fallback) const {
+  auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int ArgParser::get(const std::string& name, int fallback) const {
+  return static_cast<int>(get(name, static_cast<long>(fallback)));
+}
+
+}  // namespace stkde::util

@@ -1,0 +1,45 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace stkde::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    return std::stod(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+long env_long(const std::string& name, long fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    return std::stol(*s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_flag(const std::string& name) {
+  auto s = env_string(name);
+  if (!s) return false;
+  return !(*s == "" || *s == "0" || *s == "false" || *s == "FALSE");
+}
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace stkde::util

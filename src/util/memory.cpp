@@ -1,0 +1,73 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace stkde::util {
+
+MemoryBudgetExceeded::MemoryBudgetExceeded(std::uint64_t requested,
+                                           std::uint64_t budget)
+    : std::runtime_error("memory budget exceeded: need " +
+                         format_bytes(requested) + ", budget " +
+                         format_bytes(budget)),
+      requested_(requested),
+      budget_(budget) {}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  constexpr std::uint64_t kKiB = 1024, kMiB = kKiB * 1024, kGiB = kMiB * 1024;
+  if (bytes >= kGiB)
+    std::snprintf(buf, sizeof(buf), "%.2fGB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  else if (bytes >= kMiB)
+    std::snprintf(buf, sizeof(buf), "%lluMB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  else if (bytes >= kKiB)
+    std::snprintf(buf, sizeof(buf), "%lluKB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  else
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::uint64_t to_mib(std::uint64_t bytes) { return bytes / (1024ULL * 1024ULL); }
+
+std::uint64_t available_memory_bytes() {
+  // cgroup v2 limit, if bounded.
+  if (std::ifstream cg("/sys/fs/cgroup/memory.max"); cg) {
+    std::string s;
+    cg >> s;
+    if (!s.empty() && s != "max") {
+      try {
+        return static_cast<std::uint64_t>(std::stoull(s));
+      } catch (...) {
+        // fall through to /proc/meminfo
+      }
+    }
+  }
+  if (std::ifstream mi("/proc/meminfo"); mi) {
+    std::string line;
+    while (std::getline(mi, line)) {
+      if (line.rfind("MemAvailable:", 0) == 0) {
+        std::istringstream iss(line.substr(13));
+        std::uint64_t kb = 0;
+        iss >> kb;
+        if (kb > 0) return kb * 1024ULL;
+      }
+    }
+  }
+  return 4ULL << 30;  // conservative fallback
+}
+
+MemoryBudget& MemoryBudget::instance() {
+  static MemoryBudget b;
+  return b;
+}
+
+MemoryBudget::MemoryBudget() : limit_(available_memory_bytes()) {}
+
+void MemoryBudget::require(std::uint64_t bytes) const {
+  if (bytes > limit_) throw MemoryBudgetExceeded(bytes, limit_);
+}
+
+}  // namespace stkde::util

@@ -1,0 +1,55 @@
+#pragma once
+/// \file memory.hpp
+/// Memory-size formatting and a soft memory budget used to reproduce the
+/// paper's out-of-memory behaviour (PB-SYM-DR and low-decomposition
+/// PB-SYM-PD-REP exceed the machine's 128 GB on some instances; we detect
+/// that *before* allocating and fail with a typed error instead of crashing).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace stkde::util {
+
+/// Thrown when an algorithm's predicted allocation exceeds the budget.
+/// The benches catch this and print "OOM" like the paper's figures do.
+class MemoryBudgetExceeded : public std::runtime_error {
+ public:
+  MemoryBudgetExceeded(std::uint64_t requested, std::uint64_t budget);
+
+  [[nodiscard]] std::uint64_t requested() const { return requested_; }
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+
+ private:
+  std::uint64_t requested_;
+  std::uint64_t budget_;
+};
+
+/// "79MB", "6252MB", "59570MB" — the paper's Table 2 unit (MiB, truncated),
+/// plus adaptive human formatting for logs.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+[[nodiscard]] std::uint64_t to_mib(std::uint64_t bytes);
+
+/// Physically available memory in bytes (cgroup-aware when possible,
+/// falling back to /proc/meminfo, then to 4 GiB).
+[[nodiscard]] std::uint64_t available_memory_bytes();
+
+/// Process-wide soft budget. Defaults to available_memory_bytes() at first
+/// use; overridable (tests inject small budgets to exercise OOM paths).
+class MemoryBudget {
+ public:
+  /// Global budget instance.
+  static MemoryBudget& instance();
+
+  /// Throws MemoryBudgetExceeded if \p bytes exceeds the budget.
+  void require(std::uint64_t bytes) const;
+
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  void set_limit(std::uint64_t bytes) { limit_ = bytes; }
+
+ private:
+  MemoryBudget();
+  std::uint64_t limit_;
+};
+
+}  // namespace stkde::util

@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stkde::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  mean_ = (n * mean_ + m * o.mean_) / (n + m);
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+namespace {
+template <typename T>
+LoadBalance load_balance_impl(const std::vector<T>& loads) {
+  LoadBalance lb;
+  if (loads.empty()) return lb;
+  double sum = 0.0;
+  for (const auto& l : loads) {
+    const double v = static_cast<double>(l);
+    lb.max = std::max(lb.max, v);
+    sum += v;
+    if (v > 0.0) ++lb.nonzero;
+  }
+  lb.mean = sum / static_cast<double>(loads.size());
+  lb.imbalance = lb.mean > 0.0 ? lb.max / lb.mean : 1.0;
+  return lb;
+}
+}  // namespace
+
+LoadBalance load_balance(const std::vector<double>& loads) {
+  return load_balance_impl(loads);
+}
+LoadBalance load_balance(const std::vector<std::uint64_t>& loads) {
+  return load_balance_impl(loads);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(double x) {
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(f * static_cast<double>(bins_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+}  // namespace stkde::util

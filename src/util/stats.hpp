@@ -1,0 +1,70 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming statistics (Welford) and load-imbalance metrics used by the
+/// partitioning diagnostics and the benchmark harness.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace stkde::util {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator (Chan's parallel combination).
+  void merge(const RunningStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Load-imbalance metrics over a vector of per-bucket loads.
+/// imbalance = max / mean (1.0 is perfectly balanced; the paper's DD/PD
+/// sections discuss exactly this ratio).
+struct LoadBalance {
+  double max = 0.0;
+  double mean = 0.0;
+  double imbalance = 1.0;  ///< max/mean, 1.0 when empty.
+  std::size_t nonzero = 0; ///< number of buckets with load > 0.
+};
+
+[[nodiscard]] LoadBalance load_balance(const std::vector<double>& loads);
+[[nodiscard]] LoadBalance load_balance(const std::vector<std::uint64_t>& loads);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for reporting point-per-subdomain distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace stkde::util

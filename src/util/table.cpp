@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace stkde::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& s) {
+  cells_.back().push_back(s);
+  return *this;
+}
+Table& Table::cell(const char* s) { return cell(std::string(s)); }
+Table& Table::cell(double v, int precision) {
+  return cell(format_fixed(v, precision));
+}
+Table& Table::cell(std::uint64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(std::int64_t v) { return cell(std::to_string(v)); }
+Table& Table::cell(int v) { return cell(std::to_string(v)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : cells_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto pad = [&](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << pad(headers_[c], width[c]) << (c + 1 < headers_.size() ? "  " : "");
+    rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+  }
+  os << '\n' << rule << '\n';
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      os << pad(r[c], width[c]) << (c + 1 < r.size() ? "  " : "");
+    os << '\n';
+  }
+}
+
+std::string format_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  return buf;
+}
+
+}  // namespace stkde::util

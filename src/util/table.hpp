@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table formatter used by the benchmark harness to print the paper's
+/// tables/figures as aligned rows.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stkde::util {
+
+/// Column-aligned ASCII table. Numeric cells are pushed with a precision;
+/// print() pads every column to its widest cell.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  /// Fixed-precision floating point cell.
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+
+  /// Render with a header rule and 2-space column gap.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return cells_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format seconds adaptively ("1.234 s", "12.3 ms", "456 us").
+[[nodiscard]] std::string format_seconds(double s);
+
+/// Fixed-point formatting helper ("%.*f").
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+}  // namespace stkde::util

@@ -1,0 +1,47 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace stkde::util {
+
+void PhaseTimer::start(const std::string& phase) {
+  stop();
+  if (acc_.find(phase) == acc_.end()) {
+    acc_[phase] = 0.0;
+    order_.push_back(phase);
+  }
+  open_ = phase;
+  open_timer_.reset();
+  running_ = true;
+}
+
+void PhaseTimer::stop() {
+  if (!running_) return;
+  acc_[open_] += open_timer_.seconds();
+  running_ = false;
+}
+
+double PhaseTimer::seconds(const std::string& phase) const {
+  auto it = acc_.find(phase);
+  return it == acc_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimer::total() const {
+  double s = 0.0;
+  for (const auto& [k, v] : acc_) s += v;
+  return s;
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  for (const auto& name : other.order_) add(name, other.seconds(name));
+}
+
+void PhaseTimer::add(const std::string& phase, double secs) {
+  if (acc_.find(phase) == acc_.end()) {
+    acc_[phase] = 0.0;
+    order_.push_back(phase);
+  }
+  acc_[phase] += secs;
+}
+
+}  // namespace stkde::util

@@ -1,0 +1,84 @@
+#pragma once
+/// \file timer.hpp
+/// Steady-clock wall timers and a named phase accumulator.
+///
+/// All reported execution times in the paper exclude I/O; PhaseTimer lets
+/// each algorithm attribute time to the phases the paper distinguishes
+/// (initialization, binning, compute, reduction).
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stkde::util {
+
+/// Simple monotonic wall-clock timer. Starts on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases. Phases may be entered repeatedly;
+/// durations add up. Not thread-safe: one PhaseTimer per measuring thread.
+class PhaseTimer {
+ public:
+  /// Begin (or resume) accumulating into \p phase; closes any open phase.
+  void start(const std::string& phase);
+
+  /// Close the currently open phase, if any.
+  void stop();
+
+  /// Total seconds accumulated in \p phase (0 if never entered).
+  [[nodiscard]] double seconds(const std::string& phase) const;
+
+  /// Sum over every phase.
+  [[nodiscard]] double total() const;
+
+  /// Phase names in first-entered order.
+  [[nodiscard]] const std::vector<std::string>& phases() const { return order_; }
+
+  /// Merge another PhaseTimer's totals into this one (phase-wise add).
+  void merge(const PhaseTimer& other);
+
+  /// Directly add \p secs to \p phase (used when a phase is timed externally).
+  void add(const std::string& phase, double secs);
+
+ private:
+  std::map<std::string, double> acc_;
+  std::vector<std::string> order_;
+  std::string open_;
+  Timer open_timer_;
+  bool running_ = false;
+};
+
+/// RAII helper: times a scope into a PhaseTimer phase.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& t, const std::string& phase) : t_(t) { t_.start(phase); }
+  ~ScopedPhase() { t_.stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& t_;
+};
+
+}  // namespace stkde::util

@@ -1,0 +1,80 @@
+#include "kernels/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+
+namespace stkde::kernels {
+namespace {
+
+TEST(Silverman, ScalesWithSpread) {
+  const DomainSpec tight{0, 0, 0, 10, 10, 10, 1, 1};
+  const DomainSpec wide{0, 0, 0, 1000, 1000, 1000, 1, 1};
+  const auto ht_bw = silverman_bandwidth(data::generate_uniform(tight, 500, 3));
+  const auto wd_bw = silverman_bandwidth(data::generate_uniform(wide, 500, 3));
+  EXPECT_GT(wd_bw.hs, 10.0 * ht_bw.hs);
+  EXPECT_GT(wd_bw.ht, 10.0 * ht_bw.ht);
+}
+
+TEST(Silverman, ShrinksWithSampleSize) {
+  const DomainSpec dom{0, 0, 0, 100, 100, 100, 1, 1};
+  const auto small = silverman_bandwidth(data::generate_uniform(dom, 100, 5));
+  const auto large = silverman_bandwidth(data::generate_uniform(dom, 10000, 5));
+  EXPECT_LT(large.hs, small.hs);
+}
+
+TEST(Silverman, DegenerateInputsGiveDefaults) {
+  EXPECT_DOUBLE_EQ(silverman_bandwidth({}).hs, 1.0);
+  EXPECT_DOUBLE_EQ(silverman_bandwidth({{1, 2, 3}}).hs, 1.0);
+  // All identical points: zero variance -> fallback.
+  const PointSet same(50, Point{3, 3, 3});
+  EXPECT_DOUBLE_EQ(silverman_bandwidth(same).hs, 1.0);
+  EXPECT_DOUBLE_EQ(silverman_bandwidth(same).ht, 1.0);
+}
+
+TEST(Adaptive, DenseRegionsGetSmallerBandwidths) {
+  // A tight cluster plus far-flung isolated points.
+  PointSet pts;
+  for (int i = 0; i < 50; ++i)
+    pts.push_back(Point{10.0 + 0.01 * i, 10.0, 0.0});
+  pts.push_back(Point{500.0, 500.0, 0.0});
+  const auto h = knn_adaptive_bandwidths(pts, 3);
+  ASSERT_EQ(h.size(), pts.size());
+  // Cluster members see neighbors within fractions of a unit; the outlier's
+  // 3rd neighbor is hundreds of units away.
+  EXPECT_LT(h[25], 1.0);
+  EXPECT_GT(h.back(), 100.0);
+}
+
+TEST(Adaptive, ClampBoundsRespected) {
+  PointSet pts;
+  for (int i = 0; i < 20; ++i)
+    pts.push_back(Point{static_cast<double>(100 * i), 0.0, 0.0});
+  AdaptiveClamp clamp;
+  clamp.min_hs = 5.0;
+  clamp.max_hs = 50.0;
+  const auto h = knn_adaptive_bandwidths(pts, 1, clamp);
+  for (const double v : h) {
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 50.0);
+  }
+}
+
+TEST(Adaptive, LargerKWidensBandwidths) {
+  const DomainSpec dom{0, 0, 0, 100, 100, 100, 1, 1};
+  const PointSet pts = data::generate_uniform(dom, 300, 7);
+  const auto h1 = knn_adaptive_bandwidths(pts, 1);
+  const auto h10 = knn_adaptive_bandwidths(pts, 10);
+  for (std::size_t i = 0; i < pts.size(); ++i) EXPECT_GE(h10[i], h1[i]);
+}
+
+TEST(Adaptive, DuplicatesGetMinClamp) {
+  const PointSet pts(10, Point{1, 1, 0});
+  AdaptiveClamp clamp;
+  clamp.min_hs = 0.5;
+  const auto h = knn_adaptive_bandwidths(pts, 3, clamp);
+  for (const double v : h) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+}  // namespace
+}  // namespace stkde::kernels

@@ -1,0 +1,143 @@
+#include "analysis/clusters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "data/generator.hpp"
+
+namespace stkde::analysis {
+namespace {
+
+DensityGrid blob_grid() {
+  // Two disjoint 2x2x2 blobs with different masses, plus background zeros.
+  DensityGrid g(GridDims{16, 16, 16});
+  g.fill(0.0f);
+  for (std::int32_t x = 2; x < 4; ++x)
+    for (std::int32_t y = 2; y < 4; ++y)
+      for (std::int32_t t = 2; t < 4; ++t) g.at(x, y, t) = 2.0f;
+  g.at(3, 3, 3) = 5.0f;  // peak of blob A
+  for (std::int32_t x = 10; x < 12; ++x)
+    for (std::int32_t y = 10; y < 12; ++y)
+      for (std::int32_t t = 10; t < 12; ++t) g.at(x, y, t) = 1.0f;
+  return g;
+}
+
+TEST(Clusters, FindsDisjointComponents) {
+  const auto clusters = extract_clusters(blob_grid(), 0.5f);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Sorted by mass: blob A (7*2 + 5 = 19) first, blob B (8) second.
+  EXPECT_EQ(clusters[0].voxels, 8);
+  EXPECT_FLOAT_EQ(clusters[0].peak, 5.0f);
+  EXPECT_EQ(clusters[0].peak_voxel, (Voxel{3, 3, 3}));
+  EXPECT_NEAR(clusters[0].mass, 19.0, 1e-5);
+  EXPECT_EQ(clusters[1].voxels, 8);
+  EXPECT_NEAR(clusters[1].mass, 8.0, 1e-5);
+}
+
+TEST(Clusters, ThresholdSplitsAndShrinks) {
+  // Above 1.5 only blob A's cells qualify.
+  const auto clusters = extract_clusters(blob_grid(), 1.5f);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].voxels, 8);
+  // Above 2.5 only the single peak voxel remains.
+  const auto peak_only = extract_clusters(blob_grid(), 2.5f);
+  ASSERT_EQ(peak_only.size(), 1u);
+  EXPECT_EQ(peak_only[0].voxels, 1);
+  EXPECT_EQ(peak_only[0].bbox.volume(), 1);
+}
+
+TEST(Clusters, DiagonallyTouchingCellsAre26Connected) {
+  DensityGrid g(GridDims{4, 4, 4});
+  g.fill(0.0f);
+  g.at(0, 0, 0) = 1.0f;
+  g.at(1, 1, 1) = 1.0f;  // diagonal neighbor
+  const auto clusters = extract_clusters(g, 0.5f);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].voxels, 2);
+}
+
+TEST(Clusters, AxisGapSeparatesComponents) {
+  DensityGrid g(GridDims{5, 1, 1});
+  g.fill(0.0f);
+  g.at(0, 0, 0) = 1.0f;
+  g.at(2, 0, 0) = 0.0f;  // explicit gap
+  g.at(4, 0, 0) = 1.0f;
+  EXPECT_EQ(extract_clusters(g, 0.5f).size(), 2u);
+}
+
+TEST(Clusters, CentroidIsDensityWeighted) {
+  DensityGrid g(GridDims{8, 1, 1});
+  g.fill(0.0f);
+  g.at(0, 0, 0) = 1.0f;
+  g.at(1, 0, 0) = 3.0f;
+  const auto clusters = extract_clusters(g, 0.5f);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_NEAR(clusters[0].cx, (0.0 * 1 + 1.0 * 3) / 4.0, 1e-9);
+}
+
+TEST(Clusters, BoundingBoxIsTight) {
+  const auto clusters = extract_clusters(blob_grid(), 0.5f);
+  EXPECT_EQ(clusters[0].bbox, (Extent3{2, 4, 2, 4, 2, 4}));
+}
+
+TEST(Clusters, EmptyAndAllZeroGrids) {
+  EXPECT_TRUE(extract_clusters(DensityGrid{}, 0.0f).empty());
+  DensityGrid zeros(GridDims{4, 4, 4});
+  zeros.fill(0.0f);
+  EXPECT_TRUE(extract_clusters(zeros, 0.0f).empty());
+}
+
+TEST(Clusters, WholeGridAsOneComponent) {
+  DensityGrid g(GridDims{6, 6, 6});
+  g.fill(1.0f);
+  const auto clusters = extract_clusters(g, 0.5f);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].voxels, 216);
+}
+
+TEST(DensityQuantile, OrdersCorrectly) {
+  DensityGrid g(GridDims{10, 1, 1});
+  g.fill(0.0f);
+  for (std::int32_t x = 0; x < 10; ++x)
+    g.at(x, 0, 0) = static_cast<float>(x);  // 0 excluded (not positive)
+  EXPECT_FLOAT_EQ(density_quantile(g, 0.0), 1.0f);
+  EXPECT_FLOAT_EQ(density_quantile(g, 1.0), 9.0f);
+  const float med = density_quantile(g, 0.5);
+  EXPECT_GE(med, 4.0f);
+  EXPECT_LE(med, 6.0f);
+}
+
+TEST(DensityQuantile, HandlesEdgeCases) {
+  DensityGrid zeros(GridDims{4, 4, 4});
+  zeros.fill(0.0f);
+  EXPECT_FLOAT_EQ(density_quantile(zeros, 0.9), 0.0f);
+  EXPECT_THROW(density_quantile(zeros, 1.5), std::invalid_argument);
+}
+
+TEST(Clusters, EndToEndOnRealDensity) {
+  // Two synthetic hotspots -> two dominant clusters at a high threshold.
+  const DomainSpec dom{0, 0, 0, 64, 64, 64, 1, 1};
+  PointSet pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(Point{16.0 + (i % 7) * 0.3, 16.0 + (i % 5) * 0.3,
+                        16.0 + (i % 3) * 0.3});
+    pts.push_back(Point{48.0 + (i % 7) * 0.3, 48.0 + (i % 5) * 0.3,
+                        48.0 + (i % 3) * 0.3});
+  }
+  Params params;
+  params.hs = 4.0;
+  params.ht = 4.0;
+  const Result r = estimate(pts, dom, params, Algorithm::kPBSym);
+  const float thr = density_quantile(r.grid, 0.9);
+  const auto clusters = extract_clusters(r.grid, thr);
+  ASSERT_GE(clusters.size(), 2u);
+  // The two heaviest clusters sit near the two hotspots.
+  const auto near = [](const Cluster& c, double x) {
+    return std::abs(c.cx - x) < 6.0 && std::abs(c.cy - x) < 6.0;
+  };
+  EXPECT_TRUE(near(clusters[0], 16.0) || near(clusters[0], 48.0));
+  EXPECT_TRUE(near(clusters[1], 16.0) || near(clusters[1], 48.0));
+}
+
+}  // namespace
+}  // namespace stkde::analysis

@@ -1,0 +1,221 @@
+// The keystone correctness suite: every algorithm must produce the same
+// density volume as the gold-standard VB (paper Algorithm 1), for every
+// kernel, bandwidth, decomposition, and thread count — VB is the paper's
+// definition of the estimate and all other algorithms are reorganizations
+// of the same arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "helpers.hpp"
+
+namespace stkde {
+namespace {
+
+using testing::TinyInstance;
+using testing::grid_tolerance;
+using testing::make_tiny;
+
+struct EquivCase {
+  Algorithm alg;
+  std::string kernel = "epanechnikov";
+  std::int32_t Hs = 3;
+  std::int32_t Ht = 2;
+  DecompRequest decomp{3, 3, 3};
+  int threads = 2;
+
+  [[nodiscard]] std::string name() const {
+    std::ostringstream os;
+    std::string a = to_string(alg);
+    for (auto& c : a)
+      if (c == '-') c = '_';
+    std::string k = kernel;
+    for (auto& c : k)
+      if (c == '-') c = '_';
+    os << a << "_" << k << "_Hs" << Hs << "_Ht" << Ht << "_d" << decomp.a
+       << "x" << decomp.b << "x" << decomp.c << "_t" << threads;
+    return os.str();
+  }
+};
+
+// VB reference grids are cached per (kernel, Hs, Ht) — VB is slow by design.
+const DensityGrid& reference_grid(const std::string& kernel, std::int32_t Hs,
+                                  std::int32_t Ht) {
+  static std::map<std::string, Result> cache;
+  std::ostringstream key;
+  key << kernel << "/" << Hs << "/" << Ht;
+  auto it = cache.find(key.str());
+  if (it == cache.end()) {
+    TinyInstance t = make_tiny(150, Hs, Ht);
+    t.params.kernel = kernels::kernel_by_name(kernel);
+    it = cache.emplace(key.str(), core::run_vb(t.points, t.domain, t.params))
+             .first;
+  }
+  return it->second.grid;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(EquivalenceTest, MatchesVoxelBasedReference) {
+  const EquivCase& c = GetParam();
+  TinyInstance t = make_tiny(150, c.Hs, c.Ht);
+  t.params.kernel = kernels::kernel_by_name(c.kernel);
+  t.params.decomp = c.decomp;
+  t.params.threads = c.threads;
+  const Result r = estimate(t.points, t.domain, t.params, c.alg);
+  const DensityGrid& ref = reference_grid(c.kernel, c.Hs, c.Ht);
+  EXPECT_LE(r.grid.max_abs_diff(ref), grid_tolerance(ref))
+      << to_string(c.alg) << " diverges from VB";
+}
+
+std::string case_name(const ::testing::TestParamInfo<EquivCase>& info) {
+  return info.param.name();
+}
+
+// --- sequential algorithms x kernels x bandwidths ---------------------------
+
+std::vector<EquivCase> sequential_cases() {
+  std::vector<EquivCase> cases;
+  const std::vector<Algorithm> algs = {Algorithm::kVBDec, Algorithm::kPB,
+                                       Algorithm::kPBDisk, Algorithm::kPBBar,
+                                       Algorithm::kPBSym};
+  const std::vector<std::string> kernels = {"epanechnikov", "as-printed",
+                                            "quartic"};
+  const std::vector<std::pair<std::int32_t, std::int32_t>> bws = {{1, 1},
+                                                                  {3, 2},
+                                                                  {6, 4}};
+  for (const auto alg : algs)
+    for (const auto& k : kernels)
+      for (const auto& [hs, ht] : bws) {
+        EquivCase c;
+        c.alg = alg;
+        c.kernel = k;
+        c.Hs = hs;
+        c.Ht = ht;
+        cases.push_back(c);
+      }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sequential, EquivalenceTest,
+                         ::testing::ValuesIn(sequential_cases()), case_name);
+
+// --- parallel algorithms x decompositions x threads -------------------------
+
+std::vector<EquivCase> parallel_cases() {
+  std::vector<EquivCase> cases;
+  const std::vector<Algorithm> algs = {
+      Algorithm::kPBSymDR,      Algorithm::kPBSymDD,
+      Algorithm::kPBSymPD,      Algorithm::kPBSymPDSched,
+      Algorithm::kPBSymPDRep,   Algorithm::kPBSymPDSchedRep};
+  const std::vector<DecompRequest> decomps = {
+      {1, 1, 1}, {2, 2, 2}, {3, 2, 4}, {5, 5, 5}};
+  for (const auto alg : algs)
+    for (const auto& d : decomps)
+      for (const int threads : {1, 3}) {
+        EquivCase c;
+        c.alg = alg;
+        c.decomp = d;
+        c.threads = threads;
+        cases.push_back(c);
+      }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallel, EquivalenceTest,
+                         ::testing::ValuesIn(parallel_cases()), case_name);
+
+// --- parallel algorithms with non-default kernels ---------------------------
+
+std::vector<EquivCase> parallel_kernel_cases() {
+  std::vector<EquivCase> cases;
+  for (const auto alg : {Algorithm::kPBSymDD, Algorithm::kPBSymPDSched,
+                         Algorithm::kPBSymPDSchedRep})
+    for (const std::string& k :
+         {std::string("uniform"), std::string("gaussian-truncated"),
+          std::string("triangular")}) {
+      EquivCase c;
+      c.alg = alg;
+      c.kernel = k;
+      c.Hs = 4;
+      c.Ht = 2;
+      cases.push_back(c);
+    }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelKernels, EquivalenceTest,
+                         ::testing::ValuesIn(parallel_kernel_cases()),
+                         case_name);
+
+// --- structural edge cases ---------------------------------------------------
+
+class EdgeCaseTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(EdgeCaseTest, EmptyPointSetGivesZeroGrid) {
+  TinyInstance t = make_tiny(0, 2, 1);
+  t.points.clear();
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_DOUBLE_EQ(r.grid.sum(), 0.0);
+  EXPECT_EQ(r.grid.dims(), t.domain.dims());
+}
+
+TEST_P(EdgeCaseTest, SinglePointMatchesVB) {
+  TinyInstance t = make_tiny(1, 4, 3);
+  t.points = {Point{12.3, 10.7, 8.2}};
+  const Result ref = core::run_vb(t.points, t.domain, t.params);
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_LE(r.grid.max_abs_diff(ref.grid), grid_tolerance(ref.grid));
+}
+
+TEST_P(EdgeCaseTest, DuplicatePointsMatchVB) {
+  TinyInstance t = make_tiny(1, 3, 2);
+  t.points = PointSet(20, Point{11.0, 9.0, 7.0});  // 20 identical events
+  const Result ref = core::run_vb(t.points, t.domain, t.params);
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_LE(r.grid.max_abs_diff(ref.grid), grid_tolerance(ref.grid));
+}
+
+TEST_P(EdgeCaseTest, PointsOutsideDomainMatchVB) {
+  // Events slightly outside the modeled box still radiate density into it;
+  // all algorithms must agree (the mapper clamps, the kernels cut off).
+  TinyInstance t = make_tiny(1, 4, 3);
+  t.points = {Point{-1.5, 10.0, 8.0}, Point{25.0, -2.0, 8.0},
+              Point{12.0, 21.0, 17.0}, Point{12.0, 10.0, -0.7},
+              Point{100.0, 100.0, 100.0}};  // far outside: contributes nothing
+  const Result ref = core::run_vb(t.points, t.domain, t.params);
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_LE(r.grid.max_abs_diff(ref.grid), grid_tolerance(ref.grid));
+}
+
+TEST_P(EdgeCaseTest, PointsOnDomainBordersMatchVB) {
+  TinyInstance t = make_tiny(1, 3, 2);
+  t.points = {Point{0.0, 0.0, 0.0}, Point{24.0, 20.0, 16.0},
+              Point{0.0, 20.0, 8.0}, Point{24.0, 0.0, 16.0}};
+  const Result ref = core::run_vb(t.points, t.domain, t.params);
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_LE(r.grid.max_abs_diff(ref.grid), grid_tolerance(ref.grid));
+}
+
+TEST_P(EdgeCaseTest, BandwidthLargerThanDomainMatchesVB) {
+  TinyInstance t = make_tiny(30, 1, 1);
+  t.params.hs = 40.0;  // cylinder covers the whole grid
+  t.params.ht = 20.0;
+  const Result ref = core::run_vb(t.points, t.domain, t.params);
+  const Result r = estimate(t.points, t.domain, t.params, GetParam());
+  EXPECT_LE(r.grid.max_abs_diff(ref.grid), grid_tolerance(ref.grid));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EdgeCaseTest, ::testing::ValuesIn(all_algorithms()),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string s = to_string(info.param);
+      for (auto& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace stkde

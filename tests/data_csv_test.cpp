@@ -1,0 +1,96 @@
+#include "data/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/generator.hpp"
+
+namespace stkde::data {
+namespace {
+
+TEST(Csv, ParsesPlainRows) {
+  std::istringstream in("1.5,2.5,3.5\n-1,0,42\n");
+  const PointSet pts = read_csv(in);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], (Point{1.5, 2.5, 3.5}));
+  EXPECT_EQ(pts[1], (Point{-1, 0, 42}));
+}
+
+TEST(Csv, SkipsHeaderRow) {
+  std::istringstream in("x,y,t\n1,2,3\n");
+  const PointSet pts = read_csv(in);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0], (Point{1, 2, 3}));
+}
+
+TEST(Csv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\n1,2,3\n\n# another\n4,5,6\n");
+  EXPECT_EQ(read_csv(in).size(), 2u);
+}
+
+TEST(Csv, HandlesCrLf) {
+  std::istringstream in("1,2,3\r\n4,5,6\r\n");
+  const PointSet pts = read_csv(in);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1], (Point{4, 5, 6}));
+}
+
+TEST(Csv, MalformedMidFileRowThrowsWithLineNumber) {
+  std::istringstream in("1,2,3\nnot,a,number\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Csv, MissingColumnThrows) {
+  std::istringstream in("1,2,3\n4,5\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, ScientificNotationAccepted) {
+  std::istringstream in("1e3,-2.5e-2,3E1\n");
+  const PointSet pts = read_csv(in);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 1000.0);
+  EXPECT_DOUBLE_EQ(pts[0].y, -0.025);
+  EXPECT_DOUBLE_EQ(pts[0].t, 30.0);
+}
+
+TEST(Csv, EmptyInputGivesEmptySet) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_csv(in).empty());
+}
+
+TEST(Csv, WriteReadRoundTripsExactly) {
+  const DomainSpec d{0, 0, 0, 100, 100, 100, 1, 1};
+  const PointSet original = generate_uniform(d, 500, 77);
+  std::stringstream ss;
+  write_csv(ss, original);
+  const PointSet loaded = read_csv(ss);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i)
+    EXPECT_EQ(loaded[i], original[i]) << i;  // precision 17 is lossless
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/stkde_csv_test.csv";
+  const PointSet original = {{1, 2, 3}, {4.5, 5.5, 6.5}};
+  write_csv_file(path, original);
+  const PointSet loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1], original[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/pts.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stkde::data

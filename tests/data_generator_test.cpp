@@ -1,0 +1,155 @@
+#include "data/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/load.hpp"
+
+namespace stkde::data {
+namespace {
+
+DomainSpec dom100() { return DomainSpec{0, 0, 0, 100, 100, 100, 1.0, 1.0}; }
+
+TEST(Generator, ProducesRequestedCount) {
+  ClusterConfig cfg;
+  cfg.n_points = 1234;
+  const PointSet pts = generate_clustered(dom100(), cfg);
+  EXPECT_EQ(pts.size(), 1234u);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  ClusterConfig cfg;
+  cfg.n_points = 100;
+  cfg.seed = 7;
+  const PointSet a = generate_clustered(dom100(), cfg);
+  const PointSet b = generate_clustered(dom100(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  ClusterConfig cfg;
+  cfg.n_points = 100;
+  cfg.seed = 1;
+  const PointSet a = generate_clustered(dom100(), cfg);
+  cfg.seed = 2;
+  const PointSet b = generate_clustered(dom100(), cfg);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Generator, AllPointsInsideDomain) {
+  ClusterConfig cfg;
+  cfg.n_points = 5000;
+  const DomainSpec d = dom100();
+  const VoxelMapper m(d);
+  for (const auto& p : generate_clustered(d, cfg))
+    EXPECT_TRUE(m.in_domain(p));
+}
+
+TEST(Generator, ClusteredIsMoreImbalancedThanUniform) {
+  const DomainSpec d = dom100();
+  const VoxelMapper m(d);
+  const Decomposition dec = Decomposition::uniform(d.dims(), {4, 4, 4});
+  ClusterConfig cfg;
+  cfg.n_points = 5000;
+  cfg.n_clusters = 3;
+  cfg.cluster_sigma_frac = 0.02;
+  cfg.background_frac = 0.0;
+  const auto clustered_loads =
+      point_count_loads(bin_by_owner(generate_clustered(d, cfg), m, dec));
+  const auto uniform_loads = point_count_loads(
+      bin_by_owner(generate_uniform(d, 5000, 9), m, dec));
+  EXPECT_GT(imbalance(clustered_loads).imbalance,
+            2.0 * imbalance(uniform_loads).imbalance);
+}
+
+TEST(Generator, BackgroundFractionOneIsUniformish) {
+  ClusterConfig cfg;
+  cfg.n_points = 2000;
+  cfg.background_frac = 1.0;
+  cfg.n_clusters = 0;
+  const PointSet pts = generate_clustered(dom100(), cfg);
+  EXPECT_EQ(pts.size(), 2000u);
+}
+
+TEST(Generator, NoClustersWithoutFullBackgroundThrows) {
+  ClusterConfig cfg;
+  cfg.n_clusters = 0;
+  cfg.background_frac = 0.5;
+  EXPECT_THROW(generate_clustered(dom100(), cfg), std::invalid_argument);
+}
+
+TEST(Generator, UniformCoversTheDomain) {
+  const DomainSpec d = dom100();
+  const PointSet pts = generate_uniform(d, 8000, 3);
+  // Every octant should get a decent share.
+  int octants[8] = {0};
+  for (const auto& p : pts) {
+    const int idx = (p.x > 50) * 4 + (p.y > 50) * 2 + (p.t > 50);
+    ++octants[idx];
+  }
+  for (const int c : octants) EXPECT_GT(c, 500);
+}
+
+TEST(Generator, DegenerateStacksAllPointsAtCenter) {
+  const PointSet pts = generate_degenerate(dom100(), 42);
+  ASSERT_EQ(pts.size(), 42u);
+  for (const auto& p : pts) EXPECT_EQ(p, pts.front());
+  EXPECT_DOUBLE_EQ(pts[0].x, 50.0);
+}
+
+TEST(Generator, TemporalPatternsProduceDifferentProfiles) {
+  ClusterConfig burst;
+  burst.n_points = 4000;
+  burst.pattern = TemporalPattern::kBurst;
+  burst.temporal_sigma_frac = 0.02;
+  burst.background_frac = 0.0;
+  burst.n_clusters = 2;
+  ClusterConfig uniform = burst;
+  uniform.pattern = TemporalPattern::kUniform;
+  const DomainSpec d = dom100();
+  auto temporal_spread = [&](const PointSet& pts) {
+    double mean = 0.0;
+    for (const auto& p : pts) mean += p.t;
+    mean /= static_cast<double>(pts.size());
+    double var = 0.0;
+    for (const auto& p : pts) var += (p.t - mean) * (p.t - mean);
+    return var / static_cast<double>(pts.size());
+  };
+  const double sburst = temporal_spread(generate_clustered(d, burst));
+  const double suni = temporal_spread(generate_clustered(d, uniform));
+  EXPECT_LT(sburst, suni);  // bursts concentrate time
+}
+
+TEST(Datasets, ProfilesAreDistinct) {
+  const auto dengue = dataset_profile(Dataset::kDengue, 100, 1);
+  const auto flu = dataset_profile(Dataset::kFlu, 100, 1);
+  EXPECT_NE(dengue.n_clusters, flu.n_clusters);
+  EXPECT_EQ(dengue.n_points, 100u);
+}
+
+TEST(Datasets, NamesRoundTrip) {
+  EXPECT_EQ(to_string(Dataset::kDengue), "Dengue");
+  EXPECT_EQ(to_string(Dataset::kPollenUS), "PollenUS");
+  EXPECT_EQ(to_string(Dataset::kFlu), "Flu");
+  EXPECT_EQ(to_string(Dataset::kEBird), "eBird");
+}
+
+TEST(Datasets, GenerateDatasetRespectsDomain) {
+  const DomainSpec d = dom100();
+  const VoxelMapper m(d);
+  for (const Dataset ds : {Dataset::kDengue, Dataset::kPollenUS, Dataset::kFlu,
+                           Dataset::kEBird}) {
+    const PointSet pts = generate_dataset(ds, d, 500, 3);
+    EXPECT_EQ(pts.size(), 500u);
+    for (const auto& p : pts) EXPECT_TRUE(m.in_domain(p));
+  }
+}
+
+}  // namespace
+}  // namespace stkde::data

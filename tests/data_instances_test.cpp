@@ -1,0 +1,154 @@
+#include "data/instances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/memory.hpp"
+
+namespace stkde::data {
+namespace {
+
+TEST(PaperCatalog, HasAll21Table2Instances) {
+  EXPECT_EQ(paper_catalog().size(), 21u);
+}
+
+TEST(PaperCatalog, SpotCheckTable2Rows) {
+  const auto& dengue = paper_instance("Dengue_Hr-VHb");
+  EXPECT_EQ(dengue.n, 11056u);
+  EXPECT_EQ(dengue.dims, (GridDims{294, 386, 728}));
+  EXPECT_EQ(dengue.Hs, 50);
+  EXPECT_EQ(dengue.Ht, 14);
+
+  const auto& pollen = paper_instance("PollenUS_VHr-Lb");
+  EXPECT_EQ(pollen.n, 588189u);
+  EXPECT_EQ(pollen.dims, (GridDims{6501, 3001, 84}));
+  EXPECT_EQ(pollen.Hs, 100);
+
+  const auto& ebird = paper_instance("eBird_Hr-Hb");
+  EXPECT_EQ(ebird.n, 291990435u);
+  EXPECT_EQ(ebird.Hs, 30);
+  EXPECT_EQ(ebird.Ht, 5);
+}
+
+TEST(PaperCatalog, GridBytesMatchTable2SizeColumn) {
+  // Table 2 lists 79MB / 315MB / 20260MB / 59570MB etc. at 4 B/voxel. The
+  // paper's column rounds inconsistently (+-3 MiB), hence proximity checks.
+  EXPECT_EQ(util::to_mib(paper_instance("Dengue_Lr-Lb").grid_bytes()), 79u);
+  EXPECT_EQ(util::to_mib(paper_instance("Dengue_Hr-Lb").grid_bytes()), 315u);
+  EXPECT_NEAR(
+      static_cast<double>(util::to_mib(paper_instance("Flu_Hr-Lb").grid_bytes())),
+      20260.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(
+                  util::to_mib(paper_instance("eBird_Hr-Lb").grid_bytes())),
+              59570.0, 3.0);
+}
+
+TEST(PaperCatalog, UnknownNameThrows) {
+  EXPECT_THROW(paper_instance("Dengue_Nope"), std::invalid_argument);
+}
+
+TEST(PaperCatalog, DatasetNamesEmbeddedInInstanceNames) {
+  for (const auto& s : paper_catalog())
+    EXPECT_EQ(s.name.rfind(to_string(s.dataset) + "_", 0), 0u) << s.name;
+}
+
+TEST(ScaleInstance, SmallInstancesPassThrough) {
+  const auto& small = paper_instance("PollenUS_Lr-Lb");  // 0.7M voxels
+  const InstanceSpec scaled = scale_instance(small, ScaleBudget{});
+  EXPECT_EQ(scaled.dims, small.dims);
+  EXPECT_EQ(scaled.Hs, small.Hs);
+  EXPECT_EQ(scaled.Ht, small.Ht);
+}
+
+TEST(ScaleInstance, LargeGridsShrinkToVoxelCap) {
+  const ScaleBudget b{16'000'000, 2.0e8};
+  for (const auto& s : paper_catalog()) {
+    const InstanceSpec scaled = scale_instance(s, b);
+    // cbrt rounding can land slightly above the cap; allow 30% slack.
+    EXPECT_LE(scaled.dims.voxels(),
+              static_cast<std::int64_t>(b.voxel_cap * 1.3))
+        << s.name;
+    EXPECT_GE(scaled.Hs, 1);
+    EXPECT_GE(scaled.Ht, 1);
+  }
+}
+
+TEST(ScaleInstance, WorkCapBoundsKernelWork) {
+  const ScaleBudget b{16'000'000, 2.0e8};
+  for (const auto& s : paper_catalog()) {
+    const InstanceSpec scaled = scale_instance(s, b);
+    EXPECT_LE(scaled.kernel_work(), b.work_cap * 1.01) << s.name;
+    EXPECT_GE(scaled.n, 1u);
+  }
+}
+
+TEST(ScaleInstance, PreservesRegimeOrdering) {
+  // Flu Hr is the init-dominated extreme; eBird Lr is compute-dense. The
+  // work/voxel ratio ordering must survive scaling.
+  const ScaleBudget b{16'000'000, 2.0e8};
+  const auto flu = scale_instance(paper_instance("Flu_Hr-Lb"), b);
+  const auto ebird = scale_instance(paper_instance("eBird_Lr-Hb"), b);
+  const double flu_ratio =
+      flu.kernel_work() / static_cast<double>(flu.dims.voxels());
+  const double ebird_ratio =
+      ebird.kernel_work() / static_cast<double>(ebird.dims.voxels());
+  EXPECT_LT(flu_ratio, ebird_ratio);
+}
+
+TEST(LaptopCatalog, KeepsNamesAndOrder) {
+  const auto lap = laptop_catalog();
+  ASSERT_EQ(lap.size(), paper_catalog().size());
+  for (std::size_t i = 0; i < lap.size(); ++i)
+    EXPECT_EQ(lap[i].name, paper_catalog()[i].name);
+}
+
+TEST(Materialize, GeneratesExactlyNPoints) {
+  InstanceSpec spec = paper_instance("PollenUS_Lr-Lb");
+  spec.n = 5000;  // shrink for test speed
+  const Instance inst = materialize(spec);
+  EXPECT_EQ(inst.points.size(), 5000u);
+  EXPECT_EQ(inst.domain.dims(), spec.dims);
+  EXPECT_DOUBLE_EQ(inst.hs, static_cast<double>(spec.Hs));
+  EXPECT_DOUBLE_EQ(inst.ht, static_cast<double>(spec.Ht));
+}
+
+TEST(Materialize, DomainUnitsAreVoxels) {
+  InstanceSpec spec = paper_instance("Dengue_Lr-Lb");
+  spec.n = 10;
+  const Instance inst = materialize(spec);
+  EXPECT_DOUBLE_EQ(inst.domain.sres, 1.0);
+  EXPECT_DOUBLE_EQ(inst.domain.tres, 1.0);
+  EXPECT_EQ(inst.domain.spatial_bandwidth_voxels(inst.hs), spec.Hs);
+  EXPECT_EQ(inst.domain.temporal_bandwidth_voxels(inst.ht), spec.Ht);
+}
+
+TEST(Materialize, DeterministicPerName) {
+  InstanceSpec spec = paper_instance("Flu_Lr-Lb");
+  spec.n = 100;
+  const Instance a = materialize(spec);
+  const Instance b = materialize(spec);
+  for (std::size_t i = 0; i < a.points.size(); ++i)
+    EXPECT_EQ(a.points[i], b.points[i]);
+}
+
+TEST(Materialize, DifferentInstancesGetDifferentPoints) {
+  InstanceSpec a = paper_instance("Flu_Lr-Lb");
+  InstanceSpec b = paper_instance("Flu_Lr-Hb");
+  a.n = b.n = 50;
+  const Instance ia = materialize(a);
+  const Instance ib = materialize(b);
+  int same = 0;
+  for (std::size_t i = 0; i < ia.points.size(); ++i)
+    if (ia.points[i] == ib.points[i]) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(KernelWork, FormulaMatches) {
+  InstanceSpec s;
+  s.n = 10;
+  s.Hs = 2;
+  s.Ht = 1;
+  EXPECT_DOUBLE_EQ(s.kernel_work(), 10.0 * 25.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace stkde::data

@@ -1,0 +1,111 @@
+// Randomized cross-algorithm agreement: random domains, resolutions,
+// bandwidths, kernels, decompositions, thread counts — every strategy must
+// agree with PB (itself equivalence-tested against VB). This is the
+// wide-net companion to the structured cases in core_equivalence_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "helpers.hpp"
+#include "util/rng.hpp"
+
+namespace stkde {
+namespace {
+
+struct FuzzCase {
+  DomainSpec dom;
+  PointSet points;
+  Params params;
+  std::string describe;
+};
+
+FuzzCase random_case(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  FuzzCase c;
+  c.dom.x0 = rng.uniform(-100.0, 100.0);
+  c.dom.y0 = rng.uniform(-100.0, 100.0);
+  c.dom.t0 = rng.uniform(-100.0, 100.0);
+  c.dom.gx = rng.uniform(5.0, 40.0);
+  c.dom.gy = rng.uniform(5.0, 40.0);
+  c.dom.gt = rng.uniform(5.0, 30.0);
+  c.dom.sres = rng.uniform(0.4, 2.5);
+  c.dom.tres = rng.uniform(0.4, 2.5);
+
+  data::ClusterConfig cfg;
+  cfg.n_points = 30 + rng.below(120);
+  cfg.n_clusters = 1 + rng.below(4);
+  cfg.cluster_sigma_frac = rng.uniform(0.02, 0.2);
+  cfg.background_frac = rng.uniform(0.0, 0.5);
+  cfg.pattern = static_cast<data::TemporalPattern>(rng.below(3));
+  cfg.seed = seed * 7 + 1;
+  c.points = data::generate_clustered(c.dom, cfg);
+  // Sprinkle a few out-of-domain events.
+  for (int i = 0; i < 3; ++i)
+    c.points.push_back(Point{c.dom.x0 - rng.uniform(0.0, 3.0),
+                             c.dom.y0 + rng.uniform(0.0, c.dom.gy),
+                             c.dom.t0 + rng.uniform(0.0, c.dom.gt)});
+
+  c.params.hs = rng.uniform(0.8, 8.0);
+  c.params.ht = rng.uniform(0.8, 6.0);
+  c.params.threads = 1 + static_cast<int>(rng.below(4));
+  c.params.decomp = DecompRequest{1 + static_cast<std::int32_t>(rng.below(6)),
+                                  1 + static_cast<std::int32_t>(rng.below(6)),
+                                  1 + static_cast<std::int32_t>(rng.below(6))};
+  const std::vector<std::string> kernels = {
+      "epanechnikov", "as-printed", "uniform",
+      "triangular",   "quartic",    "gaussian-truncated"};
+  const std::string kname = kernels[rng.below(kernels.size())];
+  c.params.kernel = kernels::kernel_by_name(kname);
+  c.describe = "seed=" + std::to_string(seed) + " kernel=" + kname +
+               " hs=" + std::to_string(c.params.hs) +
+               " ht=" + std::to_string(c.params.ht) + " decomp=" +
+               c.params.decomp.to_string() +
+               " threads=" + std::to_string(c.params.threads);
+  return c;
+}
+
+class FuzzAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzAgreementTest, AllStrategiesAgreeWithPB) {
+  const FuzzCase c = random_case(GetParam());
+  const Result ref = estimate(c.points, c.dom, c.params, Algorithm::kPB);
+  const double tol = testing::grid_tolerance(ref.grid);
+  for (const Algorithm a :
+       {Algorithm::kPBDisk, Algorithm::kPBBar, Algorithm::kPBSym,
+        Algorithm::kPBSymDR, Algorithm::kPBSymDD, Algorithm::kPBSymPD,
+        Algorithm::kPBSymPDSched, Algorithm::kPBSymPDRep,
+        Algorithm::kPBSymPDSchedRep}) {
+    const Result r = estimate(c.points, c.dom, c.params, a);
+    EXPECT_LE(r.grid.max_abs_diff(ref.grid), tol)
+        << to_string(a) << " [" << c.describe << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FuzzAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+class FuzzMassTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzMassTest, MassIsBoundedByKernelIntegral) {
+  // Total discrete mass never exceeds the kernel's full integral (border
+  // clipping only removes mass) and is positive when points exist.
+  const FuzzCase c = random_case(GetParam() + 1000);
+  const Result r = estimate(c.points, c.dom, c.params, Algorithm::kPBSym);
+  const double mass =
+      r.grid.sum() * c.dom.sres * c.dom.sres * c.dom.tres;
+  const double full = std::visit(
+      [](const auto& k) {
+        return kernels::spatial_integral(k, 200) *
+               kernels::temporal_integral(k, 2000);
+      },
+      c.params.kernel);
+  EXPECT_GE(mass, 0.0) << c.describe;
+  // Midpoint-rule error can overshoot slightly at coarse resolutions.
+  EXPECT_LE(mass, full * 1.35 + 1e-9) << c.describe;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FuzzMassTest,
+                         ::testing::Range<std::uint64_t>(1, 15));
+
+}  // namespace
+}  // namespace stkde

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/bounding_box.hpp"
+#include "geom/domain.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "util/rng.hpp"
+
+namespace stkde {
+namespace {
+
+TEST(BoundingBox, EmptyByDefault) {
+  BoundingBox3 b;
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BoundingBox, ExpandAbsorbsPoints) {
+  BoundingBox3 b;
+  b.expand(Point{1, 2, 3});
+  b.expand(Point{-1, 5, 0});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.xmin, -1);
+  EXPECT_DOUBLE_EQ(b.xmax, 1);
+  EXPECT_DOUBLE_EQ(b.ymax, 5);
+  EXPECT_DOUBLE_EQ(b.tmin, 0);
+}
+
+TEST(BoundingBox, OfPointSet) {
+  const PointSet pts = {{0, 0, 0}, {2, 3, 4}};
+  const auto b = BoundingBox3::of(pts);
+  EXPECT_DOUBLE_EQ(b.width(), 2);
+  EXPECT_DOUBLE_EQ(b.height(), 3);
+  EXPECT_DOUBLE_EQ(b.duration(), 4);
+  EXPECT_TRUE(BoundingBox3::of({}).empty());
+}
+
+TEST(BoundingBox, PaddedGrowsSpatialAndTemporalDifferently) {
+  BoundingBox3 b;
+  b.expand(Point{0, 0, 0});
+  const auto p = b.padded(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(p.xmin, -2);
+  EXPECT_DOUBLE_EQ(p.ymax, 2);
+  EXPECT_DOUBLE_EQ(p.tmin, -5);
+  EXPECT_DOUBLE_EQ(p.tmax, 5);
+}
+
+TEST(BoundingBox, ContainsIsInclusive) {
+  BoundingBox3 b;
+  b.expand(Point{0, 0, 0});
+  b.expand(Point{1, 1, 1});
+  EXPECT_TRUE(b.contains(Point{1, 1, 1}));
+  EXPECT_TRUE(b.contains(Point{0.5, 0.5, 0.5}));
+  EXPECT_FALSE(b.contains(Point{1.01, 0.5, 0.5}));
+}
+
+TEST(DomainSpec, DimsUseCeilConvention) {
+  // Gx = ceil(gx / sres), per Table 1.
+  DomainSpec d{0, 0, 0, 10.0, 10.0, 10.0, 3.0, 4.0};
+  EXPECT_EQ(d.dims().gx, 4);  // ceil(10/3)
+  EXPECT_EQ(d.dims().gy, 4);
+  EXPECT_EQ(d.dims().gt, 3);  // ceil(10/4)
+}
+
+TEST(DomainSpec, ExactDivisionHasNoExtraVoxel) {
+  DomainSpec d{0, 0, 0, 12.0, 8.0, 6.0, 2.0, 3.0};
+  EXPECT_EQ(d.dims().gx, 6);
+  EXPECT_EQ(d.dims().gy, 4);
+  EXPECT_EQ(d.dims().gt, 2);
+}
+
+TEST(DomainSpec, BandwidthVoxelsUseCeil) {
+  DomainSpec d{0, 0, 0, 100, 100, 100, 2.0, 3.0};
+  EXPECT_EQ(d.spatial_bandwidth_voxels(5.0), 3);   // ceil(5/2)
+  EXPECT_EQ(d.spatial_bandwidth_voxels(4.0), 2);
+  EXPECT_EQ(d.temporal_bandwidth_voxels(7.0), 3);  // ceil(7/3)
+  EXPECT_EQ(d.temporal_bandwidth_voxels(0.1), 1);  // floor of 1 voxel
+}
+
+TEST(DomainSpec, DegenerateExtentGetsOneVoxel) {
+  DomainSpec d{0, 0, 0, 0.0, 5.0, 5.0, 1.0, 1.0};
+  EXPECT_EQ(d.dims().gx, 1);
+}
+
+TEST(DomainSpec, ValidateRejectsBadResolutions) {
+  DomainSpec d{0, 0, 0, 10, 10, 10, 0.0, 1.0};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.sres = -1.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.sres = 1.0;
+  d.gx = -3.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(DomainSpec, CoveringMatchesBox) {
+  BoundingBox3 b;
+  b.expand(Point{10, 20, 30});
+  b.expand(Point{14, 26, 33});
+  const auto d = DomainSpec::covering(b, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.x0, 10);
+  EXPECT_DOUBLE_EQ(d.t0, 30);
+  EXPECT_EQ(d.dims().gx, 2);
+  EXPECT_EQ(d.dims().gy, 3);
+  EXPECT_EQ(d.dims().gt, 3);
+  EXPECT_THROW(DomainSpec::covering(BoundingBox3{}, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(VoxelMapper, PointsMapToContainingCell) {
+  const DomainSpec d{0, 0, 0, 10, 10, 10, 2.0, 5.0};
+  const VoxelMapper m(d);
+  EXPECT_EQ(m.voxel_of(Point{0.0, 0.0, 0.0}), (Voxel{0, 0, 0}));
+  EXPECT_EQ(m.voxel_of(Point{1.99, 3.0, 4.9}), (Voxel{0, 1, 0}));
+  EXPECT_EQ(m.voxel_of(Point{2.0, 2.0, 5.0}), (Voxel{1, 1, 1}));
+}
+
+TEST(VoxelMapper, BorderPointsClampIntoGrid) {
+  const DomainSpec d{0, 0, 0, 10, 10, 10, 2.0, 5.0};
+  const VoxelMapper m(d);
+  // Domain max border belongs to the last voxel.
+  EXPECT_EQ(m.voxel_of(Point{10.0, 10.0, 10.0}), (Voxel{4, 4, 1}));
+  // Outside points clamp (callers may pass events outside the domain).
+  EXPECT_EQ(m.voxel_of(Point{-5.0, 100.0, 50.0}), (Voxel{0, 4, 1}));
+}
+
+TEST(VoxelMapper, CentersAreMidCell) {
+  const DomainSpec d{10, 20, 30, 10, 10, 10, 2.0, 5.0};
+  const VoxelMapper m(d);
+  EXPECT_DOUBLE_EQ(m.x_of(0), 11.0);
+  EXPECT_DOUBLE_EQ(m.y_of(1), 23.0);
+  EXPECT_DOUBLE_EQ(m.t_of(0), 32.5);
+  const Point c = m.center_of(Voxel{0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.x, 11.0);
+  EXPECT_DOUBLE_EQ(c.y, 23.0);
+  EXPECT_DOUBLE_EQ(c.t, 32.5);
+}
+
+TEST(VoxelMapper, InDomainIsBorderInclusive) {
+  const DomainSpec d{0, 0, 0, 10, 10, 10, 1.0, 1.0};
+  const VoxelMapper m(d);
+  EXPECT_TRUE(m.in_domain(Point{0, 0, 0}));
+  EXPECT_TRUE(m.in_domain(Point{10, 10, 10}));
+  EXPECT_FALSE(m.in_domain(Point{10.001, 5, 5}));
+}
+
+// The correctness keystone of the point-based algorithms: every voxel whose
+// center lies within the bandwidth of a point is inside the loop ranges
+// [Xi - Hs, Xi + Hs] (likewise for y and t). Checked by randomized sweep
+// over resolutions/bandwidths.
+TEST(VoxelMapper, CylinderLoopRangeCoversKernelSupport) {
+  util::Xoshiro256 rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double sres = rng.uniform(0.3, 4.0);
+    const double tres = rng.uniform(0.3, 4.0);
+    const double hs = rng.uniform(0.5, 10.0);
+    const double ht = rng.uniform(0.5, 10.0);
+    const DomainSpec d{0, 0, 0, 60.0, 60.0, 60.0, sres, tres};
+    const VoxelMapper m(d);
+    const std::int32_t Hs = d.spatial_bandwidth_voxels(hs);
+    const std::int32_t Ht = d.temporal_bandwidth_voxels(ht);
+    const Point p{rng.uniform(0.0, 60.0), rng.uniform(0.0, 60.0),
+                  rng.uniform(0.0, 60.0)};
+    const Voxel c = m.voxel_of(p);
+    // Scan every voxel; any center within the bandwidth must be in range.
+    const GridDims dims = d.dims();
+    for (std::int32_t X = 0; X < dims.gx; ++X) {
+      const double dx = std::abs(m.x_of(X) - p.x);
+      if (dx < hs)
+        ASSERT_TRUE(X >= c.x - Hs && X <= c.x + Hs)
+            << "X=" << X << " c.x=" << c.x << " Hs=" << Hs;
+    }
+    for (std::int32_t T = 0; T < dims.gt; ++T) {
+      const double dt = std::abs(m.t_of(T) - p.t);
+      if (dt <= ht)
+        ASSERT_TRUE(T >= c.t - Ht && T <= c.t + Ht)
+            << "T=" << T << " c.t=" << c.t << " Ht=" << Ht;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stkde

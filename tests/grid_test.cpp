@@ -1,0 +1,139 @@
+#include "grid/dense_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/extent.hpp"
+#include "helpers.hpp"
+
+namespace stkde {
+namespace {
+
+TEST(Extent3, VolumeAndEmptiness) {
+  const Extent3 e{0, 2, 0, 3, 0, 4};
+  EXPECT_EQ(e.volume(), 24);
+  EXPECT_FALSE(e.empty());
+  const Extent3 degenerate{5, 5, 0, 3, 0, 4};
+  EXPECT_TRUE(degenerate.empty());
+  EXPECT_EQ(degenerate.volume(), 0);
+}
+
+TEST(Extent3, IntersectionCommutesAndClips) {
+  const Extent3 a{0, 10, 0, 10, 0, 10};
+  const Extent3 b{5, 15, -5, 7, 9, 20};
+  const Extent3 ab = a.intersect(b);
+  EXPECT_EQ(ab, b.intersect(a));
+  EXPECT_EQ(ab, (Extent3{5, 10, 0, 7, 9, 10}));
+  EXPECT_TRUE(a.intersects(b));
+  const Extent3 far{100, 110, 0, 10, 0, 10};
+  EXPECT_FALSE(a.intersects(far));
+}
+
+TEST(Extent3, ExpandedGrowsAsymmetrically) {
+  const Extent3 e{5, 10, 5, 10, 5, 10};
+  const Extent3 x = e.expanded(2, 3);
+  EXPECT_EQ(x, (Extent3{3, 12, 3, 12, 2, 13}));
+}
+
+TEST(Extent3, CylinderBoundsArePlusMinusBandwidth) {
+  const Extent3 c = Extent3::cylinder(Voxel{10, 20, 30}, 2, 4);
+  EXPECT_EQ(c, (Extent3{8, 13, 18, 23, 26, 35}));
+  EXPECT_EQ(c.volume(), 5LL * 5 * 9);
+}
+
+TEST(Extent3, ContainsHalfOpenSemantics) {
+  const Extent3 e{0, 2, 0, 2, 0, 2};
+  EXPECT_TRUE(e.contains(0, 0, 0));
+  EXPECT_TRUE(e.contains(1, 1, 1));
+  EXPECT_FALSE(e.contains(2, 0, 0));
+  EXPECT_FALSE(e.contains(-1, 0, 0));
+}
+
+TEST(DenseGrid, IndexingIsTInnermost) {
+  DenseGrid3<float> g(GridDims{3, 4, 5});
+  EXPECT_EQ(g.index(0, 0, 0), 0);
+  EXPECT_EQ(g.index(0, 0, 1), 1);       // T adjacent
+  EXPECT_EQ(g.index(0, 1, 0), 5);       // Y stride = Gt
+  EXPECT_EQ(g.index(1, 0, 0), 20);      // X stride = Gy*Gt
+  EXPECT_EQ(g.size(), 60);
+}
+
+TEST(DenseGrid, RowPointerWalksT) {
+  DenseGrid3<float> g(GridDims{2, 2, 4});
+  g.fill(0.0f);
+  float* row = g.row(1, 1);
+  for (int t = 0; t < 4; ++t) row[t] = static_cast<float>(t);
+  for (std::int32_t t = 0; t < 4; ++t)
+    EXPECT_FLOAT_EQ(g.at(1, 1, t), static_cast<float>(t));
+}
+
+TEST(DenseGrid, OffsetExtentUsesAbsoluteCoordinates) {
+  // Halo buffers are grids whose extent does not start at 0.
+  DenseGrid3<float> g(Extent3{10, 14, 20, 22, 5, 8});
+  g.fill(0.0f);
+  g.at(12, 21, 6) = 3.5f;
+  EXPECT_FLOAT_EQ(g.at(12, 21, 6), 3.5f);
+  EXPECT_EQ(g.size(), 4LL * 2 * 3);
+  EXPECT_FLOAT_EQ(g.row(12, 21)[6 - 5], 3.5f);
+}
+
+TEST(DenseGrid, FillSetsEverything) {
+  DenseGrid3<float> g(GridDims{4, 4, 4});
+  g.fill(2.5f);
+  EXPECT_DOUBLE_EQ(g.sum(), 2.5 * 64);
+}
+
+TEST(DenseGrid, FillParallelMatchesFill) {
+  DenseGrid3<float> a(GridDims{8, 9, 10}), b(GridDims{8, 9, 10});
+  a.fill(1.25f);
+  b.fill_parallel(1.25f, 4);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(DenseGrid, SumAndMaxValue) {
+  DenseGrid3<float> g(GridDims{2, 2, 2});
+  g.fill(0.0f);
+  g.at(0, 1, 1) = 4.0f;
+  g.at(1, 0, 0) = -1.0f;
+  EXPECT_DOUBLE_EQ(g.sum(), 3.0);
+  EXPECT_FLOAT_EQ(g.max_value(), 4.0f);
+}
+
+TEST(DenseGrid, MaxAbsDiffDetectsDifferences) {
+  DenseGrid3<float> a(GridDims{2, 2, 2}), b(GridDims{2, 2, 2});
+  a.fill(0.0f);
+  b.fill(0.0f);
+  b.at(1, 1, 1) = 0.5f;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
+}
+
+TEST(DenseGrid, MaxAbsDiffRejectsMismatchedExtents) {
+  DenseGrid3<float> a(GridDims{2, 2, 2}), b(GridDims{2, 2, 3});
+  EXPECT_THROW((void)a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(DenseGrid, EmptyExtentRejected) {
+  EXPECT_THROW(DenseGrid3<float>(Extent3{0, 0, 0, 1, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(DenseGrid, AllocationRespectsMemoryBudget) {
+  stkde::testing::ScopedMemoryBudget guard(1 << 20);  // 1 MiB
+  EXPECT_THROW(DenseGrid3<float>(GridDims{1024, 1024, 16}),
+               util::MemoryBudgetExceeded);
+  EXPECT_NO_THROW(DenseGrid3<float>(GridDims{32, 32, 32}));
+}
+
+TEST(DenseGrid, DoubleGridBytesAreLarger) {
+  DenseGrid3<float> f(GridDims{4, 4, 4});
+  DenseGrid3<double> d(GridDims{4, 4, 4});
+  EXPECT_EQ(f.bytes() * 2, d.bytes());
+}
+
+TEST(DenseGrid, DefaultConstructedIsUnallocated) {
+  DenseGrid3<float> g;
+  EXPECT_FALSE(g.allocated());
+  EXPECT_EQ(g.size(), 0);
+}
+
+}  // namespace
+}  // namespace stkde

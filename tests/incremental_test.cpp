@@ -1,0 +1,128 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "helpers.hpp"
+
+namespace stkde::core {
+namespace {
+
+using stkde::testing::grid_tolerance;
+using stkde::testing::make_tiny;
+
+TEST(Incremental, SingleBatchMatchesBatchEstimate) {
+  const auto t = make_tiny(150, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  const DensityGrid snap = inc.snapshot();
+  const Result batch = estimate(t.points, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(snap.max_abs_diff(batch.grid), grid_tolerance(batch.grid));
+  EXPECT_EQ(inc.live_count(), t.points.size());
+}
+
+TEST(Incremental, MultipleBatchesMatchCombinedBatch) {
+  const auto t = make_tiny(200, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  const std::size_t half = t.points.size() / 2;
+  inc.add(PointSet(t.points.begin(), t.points.begin() + half));
+  inc.add(PointSet(t.points.begin() + half, t.points.end()));
+  const Result batch = estimate(t.points, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            grid_tolerance(batch.grid));
+}
+
+TEST(Incremental, RemoveUndoesAdd) {
+  const auto t = make_tiny(100, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  inc.remove(t.points);
+  EXPECT_EQ(inc.live_count(), 0u);
+  // Raw sums cancel to float roundoff around zero.
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < inc.raw().size(); ++i)
+    max_abs = std::max(max_abs, std::abs(inc.raw().data()[i]));
+  EXPECT_LE(max_abs, 1e-5f);
+  // Snapshot of an empty stream is exactly zero (n = 0 short-circuits).
+  EXPECT_DOUBLE_EQ(inc.snapshot().sum(), 0.0);
+}
+
+TEST(Incremental, RemovalOfSubsetMatchesBatchOfRemainder) {
+  const auto t = make_tiny(120, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  const PointSet gone(t.points.begin(), t.points.begin() + 40);
+  inc.remove(gone);
+  const PointSet kept(t.points.begin() + 40, t.points.end());
+  const Result batch = estimate(kept, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_EQ(inc.live_count(), kept.size());
+  // Cancellation noise is bounded by the *full* set's peak, not the
+  // remainder's, so scale tolerance accordingly.
+  const Result full = estimate(t.points, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            3.0 * grid_tolerance(full.grid));
+}
+
+TEST(Incremental, SlidingWindowMatchesWindowBatch) {
+  const auto t = make_tiny(1, 3, 2);
+  // A stream ordered by time: event i at t = i * 0.1.
+  PointSet stream;
+  for (int i = 0; i < 160; ++i)
+    stream.push_back(Point{2.0 + (i * 7) % 20, 2.0 + (i * 3) % 16,
+                           i * 0.1});
+  IncrementalEstimator inc(t.domain, t.params);
+  const double window = 8.0;
+  std::size_t fed = 0;
+  const std::size_t chunk = 40;
+  while (fed < stream.size()) {
+    const std::size_t hi = std::min(stream.size(), fed + chunk);
+    const PointSet batch(stream.begin() + fed, stream.begin() + hi);
+    const double now = batch.back().t;
+    inc.advance_window(batch, now - window);
+    fed = hi;
+  }
+  // Reference: batch estimate over exactly the live window.
+  PointSet live;
+  const double cutoff = stream.back().t - window;
+  for (const auto& p : stream)
+    if (p.t >= cutoff) live.push_back(p);
+  ASSERT_EQ(inc.live_count(), live.size());
+  const Result batch = estimate(live, t.domain, t.params, Algorithm::kPBSym);
+  const Result full = estimate(stream, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            5.0 * grid_tolerance(full.grid));
+}
+
+TEST(Incremental, DensityAtMatchesSnapshot) {
+  const auto t = make_tiny(60, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  const DensityGrid snap = inc.snapshot();
+  const VoxelMapper map(t.domain);
+  const Voxel v = map.voxel_of(t.points.front());
+  EXPECT_FLOAT_EQ(inc.density_at(v), snap.at(v.x, v.y, v.t));
+}
+
+TEST(Incremental, EmptyStreamProbes) {
+  const auto t = make_tiny(1, 2, 1);
+  IncrementalEstimator inc(t.domain, t.params);
+  EXPECT_EQ(inc.live_count(), 0u);
+  EXPECT_FLOAT_EQ(inc.density_at(Voxel{0, 0, 0}), 0.0f);
+}
+
+TEST(Incremental, AccessorsExposeConfiguration) {
+  const auto t = make_tiny(1, 2, 1);
+  IncrementalEstimator inc(t.domain, t.params);
+  EXPECT_EQ(inc.domain(), t.domain);
+  EXPECT_DOUBLE_EQ(inc.params().hs, t.params.hs);
+}
+
+TEST(Incremental, RejectsBadParams) {
+  const auto t = make_tiny(1, 2, 1);
+  Params bad = t.params;
+  bad.hs = 0.0;
+  EXPECT_THROW(IncrementalEstimator(t.domain, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stkde::core

@@ -1,0 +1,145 @@
+#include "kernels/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stkde::kernels {
+namespace {
+
+DomainSpec test_domain() { return DomainSpec{0, 0, 0, 32, 32, 32, 1.0, 1.0}; }
+
+TEST(SpatialInvariant, TableMatchesDirectEvaluation) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  const Point p{15.3, 16.7, 8.0};
+  const double hs = 4.0;
+  const std::int32_t Hs = 4;
+  const double scale = 0.01;
+  SpatialInvariant tab;
+  tab.compute(k, map, p, hs, Hs, scale);
+  const Voxel c = map.voxel_of(p);
+  EXPECT_EQ(tab.side(), 2 * Hs + 1);
+  EXPECT_EQ(tab.x_lo(), c.x - Hs);
+  EXPECT_EQ(tab.y_lo(), c.y - Hs);
+  for (std::int32_t X = tab.x_lo(); X < tab.x_lo() + tab.side(); ++X) {
+    for (std::int32_t Y = tab.y_lo(); Y < tab.y_lo() + tab.side(); ++Y) {
+      const double u = (map.x_of(X) - p.x) / hs;
+      const double v = (map.y_of(Y) - p.y) / hs;
+      EXPECT_NEAR(tab.at(X, Y), k.spatial(u, v) * scale, 1e-12);
+    }
+  }
+}
+
+TEST(SpatialInvariant, RowPointerAgreesWithAt) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const QuarticKernel k;
+  SpatialInvariant tab;
+  tab.compute(k, map, Point{10, 10, 10}, 3.0, 3, 1.0);
+  for (std::int32_t X = tab.x_lo(); X < tab.x_lo() + tab.side(); ++X) {
+    const double* row = tab.row(X);
+    for (std::int32_t j = 0; j < tab.side(); ++j)
+      EXPECT_DOUBLE_EQ(row[j], tab.at(X, tab.y_lo() + j));
+  }
+}
+
+TEST(SpatialInvariant, NonzeroCountsDiskArea) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const UniformKernel k;
+  SpatialInvariant tab;
+  const std::int32_t Hs = 6;
+  tab.compute(k, map, Point{16.5, 16.5, 16.5}, static_cast<double>(Hs), Hs, 1.0);
+  // Disk of radius Hs in a (2Hs+1)^2 table: nonzero ~ pi Hs^2, strictly less
+  // than the full square, more than the inscribed square.
+  const auto total = static_cast<std::int64_t>(tab.side()) * tab.side();
+  EXPECT_LT(tab.nonzero(), total);
+  EXPECT_GT(tab.nonzero(), total / 2);
+}
+
+TEST(SpatialInvariant, ReusableAcrossPoints) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  SpatialInvariant tab;
+  tab.compute(k, map, Point{5, 5, 5}, 2.0, 2, 1.0);
+  const double first_center = tab.at(map.voxel_of(Point{5, 5, 5}).x,
+                                     map.voxel_of(Point{5, 5, 5}).y);
+  tab.compute(k, map, Point{20, 20, 20}, 4.0, 4, 1.0);
+  EXPECT_EQ(tab.side(), 9);  // resized to the new bandwidth
+  EXPECT_GT(first_center, 0.0);
+}
+
+TEST(TemporalInvariant, TableMatchesDirectEvaluation) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  const Point p{3.0, 4.0, 17.2};
+  const double ht = 5.0;
+  const std::int32_t Ht = 5;
+  TemporalInvariant tab;
+  tab.compute(k, map, p, ht, Ht);
+  const Voxel c = map.voxel_of(p);
+  EXPECT_EQ(tab.len(), 2 * Ht + 1);
+  EXPECT_EQ(tab.t_lo(), c.t - Ht);
+  for (std::int32_t T = tab.t_lo(); T < tab.t_lo() + tab.len(); ++T) {
+    const double w = (map.t_of(T) - p.t) / ht;
+    EXPECT_NEAR(tab.at(T), k.temporal(w), 1e-12);
+  }
+}
+
+TEST(TemporalInvariant, CenterEntryIsPeak) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  TemporalInvariant tab;
+  const Point p{0, 0, 15.5};  // exactly at a voxel center
+  tab.compute(k, map, p, 3.0, 3);
+  const Voxel c = map.voxel_of(p);
+  for (std::int32_t T = tab.t_lo(); T < tab.t_lo() + tab.len(); ++T)
+    EXPECT_LE(tab.at(T), tab.at(c.t));
+}
+
+TEST(TemporalInvariant, NonzeroWithinSupport) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const UniformKernel k;
+  TemporalInvariant tab;
+  tab.compute(k, map, Point{0, 0, 16.5}, 4.0, 4);
+  EXPECT_GT(tab.nonzero(), 0);
+  EXPECT_LE(tab.nonzero(), tab.len());
+}
+
+// The product decomposition underlying PB-SYM (paper Fig. 3): for every
+// voxel of the cylinder, Ks[X][Y] * Kt[T] equals the direct kernel product.
+TEST(Invariants, ProductReconstructsFullKernel) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  util::Xoshiro256 rng(5);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Point p{rng.uniform(2.0, 30.0), rng.uniform(2.0, 30.0),
+                  rng.uniform(2.0, 30.0)};
+    const double hs = rng.uniform(1.0, 5.0), ht = rng.uniform(1.0, 5.0);
+    const auto Hs = d.spatial_bandwidth_voxels(hs);
+    const auto Ht = d.temporal_bandwidth_voxels(ht);
+    SpatialInvariant ks;
+    TemporalInvariant kt;
+    ks.compute(k, map, p, hs, Hs, 1.0);
+    kt.compute(k, map, p, ht, Ht);
+    const Voxel c = map.voxel_of(p);
+    for (std::int32_t X = c.x - Hs; X <= c.x + Hs; ++X)
+      for (std::int32_t Y = c.y - Hs; Y <= c.y + Hs; ++Y)
+        for (std::int32_t T = c.t - Ht; T <= c.t + Ht; ++T) {
+          const double direct =
+              k.spatial((map.x_of(X) - p.x) / hs, (map.y_of(Y) - p.y) / hs) *
+              k.temporal((map.t_of(T) - p.t) / ht);
+          ASSERT_NEAR(ks.at(X, Y) * kt.at(T), direct, 1e-15);
+        }
+  }
+}
+
+}  // namespace
+}  // namespace stkde::kernels

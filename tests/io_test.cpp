@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/grid_io.hpp"
+#include "io/pgm.hpp"
+#include "io/slice.hpp"
+#include "io/vtk.hpp"
+#include "util/rng.hpp"
+
+namespace stkde::io {
+namespace {
+
+DensityGrid sample_grid() {
+  DensityGrid g(GridDims{4, 3, 5});
+  g.fill(0.0f);
+  g.at(1, 2, 3) = 2.0f;
+  g.at(0, 0, 0) = 1.0f;
+  g.at(3, 1, 4) = 0.5f;
+  return g;
+}
+
+TEST(Slice, TimeSliceExtractsPlane) {
+  const DensityGrid g = sample_grid();
+  const Field2D f = time_slice(g, 3);
+  EXPECT_EQ(f.nx, 4);
+  EXPECT_EQ(f.ny, 3);
+  EXPECT_FLOAT_EQ(f.at(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(f.at(0, 0), 0.0f);
+}
+
+TEST(Slice, TimeSliceOutOfRangeThrows) {
+  const DensityGrid g = sample_grid();
+  EXPECT_THROW(time_slice(g, 5), std::out_of_range);
+  EXPECT_THROW(time_slice(g, -1), std::out_of_range);
+}
+
+TEST(Slice, AggregateSumsOverT) {
+  const DensityGrid g = sample_grid();
+  const Field2D f = time_aggregate(g);
+  EXPECT_FLOAT_EQ(f.at(1, 2), 2.0f);
+  EXPECT_FLOAT_EQ(f.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(f.at(3, 1), 0.5f);
+  double total = 0;
+  for (const float v : f.values) total += v;
+  EXPECT_NEAR(total, g.sum(), 1e-6);
+}
+
+TEST(Slice, AggregateOfSlicesEqualsAggregate) {
+  const DensityGrid g = sample_grid();
+  const Field2D agg = time_aggregate(g);
+  std::vector<double> manual(agg.values.size(), 0.0);
+  for (std::int32_t t = 0; t < 5; ++t) {
+    const Field2D s = time_slice(g, t);
+    for (std::size_t i = 0; i < s.values.size(); ++i) manual[i] += s.values[i];
+  }
+  for (std::size_t i = 0; i < manual.size(); ++i)
+    EXPECT_NEAR(manual[i], agg.values[i], 1e-6);
+}
+
+TEST(Slice, FieldCsvHasHeaderAndAllCells) {
+  const Field2D f = time_aggregate(sample_grid());
+  std::ostringstream os;
+  write_field_csv(os, f);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "x,y,value");
+  int rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, 12);  // 4 * 3
+}
+
+TEST(Pgm, WritesValidHeaderAndSize) {
+  const std::string path = ::testing::TempDir() + "/stkde_test.pgm";
+  write_pgm(path, time_aggregate(sample_grid()));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w, h, maxv;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxv, 255);
+  in.get();  // the single whitespace after maxval
+  std::vector<char> pixels(static_cast<std::size_t>(w) * h);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, PeakMapsToWhite) {
+  const std::string path = ::testing::TempDir() + "/stkde_test_peak.pgm";
+  Field2D f;
+  f.nx = 2;
+  f.ny = 1;
+  f.values = {0.0f, 10.0f};
+  write_pgm(path, f, 1.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w, h, maxv;
+  in >> magic >> w >> h >> maxv;
+  in.get();
+  unsigned char px[2];
+  in.read(reinterpret_cast<char*>(px), 2);
+  EXPECT_EQ(px[0], 0);
+  EXPECT_EQ(px[1], 255);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, WritesHeaderWithDimensionsAndSpacing) {
+  const std::string path = ::testing::TempDir() + "/stkde_test.vtk";
+  const DensityGrid g = sample_grid();
+  const DomainSpec spec{10, 20, 30, 4, 3, 5, 2.0, 1.5};
+  write_vtk(path, g, spec);
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(content.find("DIMENSIONS 4 3 5"), std::string::npos);
+  EXPECT_NE(content.find("ORIGIN 10 20 30"), std::string::npos);
+  EXPECT_NE(content.find("SPACING 2 2 1.5"), std::string::npos);
+  EXPECT_NE(content.find("POINT_DATA 60"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, StrideSubsamples) {
+  const std::string path = ::testing::TempDir() + "/stkde_test_stride.vtk";
+  DensityGrid g(GridDims{8, 8, 8});
+  g.fill(1.0f);
+  const DomainSpec spec{0, 0, 0, 8, 8, 8, 1.0, 1.0};
+  write_vtk(path, g, spec, 2);
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("DIMENSIONS 4 4 4"), std::string::npos);
+  EXPECT_NE(content.find("SPACING 2 2 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, RejectsBadStride) {
+  const DensityGrid g = sample_grid();
+  EXPECT_THROW(write_vtk("/tmp/x.vtk", g, DomainSpec{}, 0),
+               std::invalid_argument);
+}
+
+TEST(GridIo, RoundTripsBitExactly) {
+  const std::string path = ::testing::TempDir() + "/stkde_test.grid";
+  DensityGrid g(Extent3{2, 6, 1, 4, 0, 7});
+  util::Xoshiro256 rng(3);
+  for (std::int64_t i = 0; i < g.size(); ++i)
+    g.data()[i] = static_cast<float>(rng.uniform(-5, 5));
+  save_grid(path, g);
+  const DensityGrid loaded = load_grid(path);
+  EXPECT_EQ(loaded.extent(), g.extent());
+  EXPECT_DOUBLE_EQ(loaded.max_abs_diff(g), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(GridIo, BadMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/stkde_bad.grid";
+  std::ofstream(path) << "not a grid file at all";
+  EXPECT_THROW(load_grid(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GridIo, TruncatedPayloadRejected) {
+  const std::string path = ::testing::TempDir() + "/stkde_trunc.grid";
+  DensityGrid g(GridDims{4, 4, 4});
+  g.fill(1.0f);
+  save_grid(path, g);
+  // Truncate the file.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << content.substr(0, content.size() / 2);
+  EXPECT_THROW(load_grid(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GridIo, MissingFileThrows) {
+  EXPECT_THROW(load_grid("/nonexistent/grid.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stkde::io

@@ -1,0 +1,121 @@
+#include "core/kde2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.hpp"
+#include "data/generator.hpp"
+#include "io/slice.hpp"
+
+namespace stkde::core {
+namespace {
+
+DomainSpec dom32() { return DomainSpec{0, 0, 0, 32, 32, 32, 1, 1}; }
+
+TEST(Kde2d, PointBasedMatchesPixelBased) {
+  const DomainSpec dom = dom32();
+  const PointSet pts = data::generate_uniform(dom, 200, 3);
+  Params2D p;
+  p.hs = 4.0;
+  const DensitySurface vb = kde2d_vb(pts, dom, p);
+  const DensitySurface pb = kde2d_pb(pts, dom, p);
+  EXPECT_LE(pb.max_abs_diff(vb), 1e-4 * vb.max_value() + 1e-12);
+}
+
+TEST(Kde2d, AgreesAcrossKernels) {
+  const DomainSpec dom = dom32();
+  const PointSet pts = data::generate_uniform(dom, 100, 7);
+  for (const char* name : {"quartic", "uniform", "gaussian-truncated"}) {
+    Params2D p;
+    p.hs = 3.0;
+    p.kernel = kernels::kernel_by_name(name);
+    const DensitySurface vb = kde2d_vb(pts, dom, p);
+    const DensitySurface pb = kde2d_pb(pts, dom, p);
+    EXPECT_LE(pb.max_abs_diff(vb), 1e-4 * vb.max_value() + 1e-12) << name;
+  }
+}
+
+TEST(Kde2d, MassIsOneForInteriorPoints) {
+  const DomainSpec dom{0, 0, 0, 64, 64, 1, 1, 1};
+  PointSet pts;
+  for (int i = 0; i < 40; ++i)
+    pts.push_back(Point{20.0 + (i % 8), 20.0 + (i % 5), 0.0});
+  Params2D p;
+  p.hs = 10.0;
+  const DensitySurface s = kde2d_pb(pts, dom, p);
+  EXPECT_NEAR(s.sum() * dom.sres * dom.sres, 1.0, 0.05);
+}
+
+TEST(Kde2d, EmptyPointSetGivesZeroSurface) {
+  const DensitySurface s = kde2d_pb({}, dom32(), Params2D{});
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_EQ(s.nx, 32);
+  EXPECT_EQ(s.ny, 32);
+}
+
+TEST(Kde2d, ValidatesParams) {
+  Params2D p;
+  p.hs = 0.0;
+  EXPECT_THROW(kde2d_pb({}, dom32(), p), std::invalid_argument);
+}
+
+// The analytic link to STKDE (paper §2.1: STKDE is the temporal extension
+// of 2D KDE): integrating the space-time density over t — the
+// time_aggregate of the volume times tres — recovers the 2D estimate, for
+// events whose temporal support lies inside the domain.
+TEST(Kde2d, TimeIntegralOfStkdeRecovers2dKde) {
+  const DomainSpec dom{0, 0, 0, 48, 48, 48, 1, 1};
+  PointSet pts;
+  for (int i = 0; i < 60; ++i)
+    pts.push_back(Point{10.0 + (i * 5) % 28, 12.0 + (i * 3) % 24,
+                        20.0 + (i * 7) % 8});  // t in [20, 28): deep interior
+  Params params;
+  params.hs = 5.0;
+  params.ht = 6.0;
+  const Result volume = estimate(pts, dom, params, Algorithm::kPBSym);
+  const io::Field2D agg = io::time_aggregate(volume.grid);
+
+  Params2D p2;
+  p2.hs = 5.0;
+  const DensitySurface flat = kde2d_pb(pts, dom, p2);
+
+  double max_rel = 0.0;
+  for (std::int32_t x = 0; x < flat.nx; ++x)
+    for (std::int32_t y = 0; y < flat.ny; ++y) {
+      const double integrated = agg.at(x, y) * dom.tres;
+      const double direct = flat.at(x, y);
+      max_rel = std::max(max_rel, std::abs(integrated - direct));
+    }
+  // Midpoint-rule error of the temporal integral only.
+  EXPECT_LE(max_rel, 0.02 * flat.max_value() + 1e-9);
+}
+
+TEST(Kde2d, PeakSitsOnTheCluster) {
+  const DomainSpec dom = dom32();
+  const PointSet pts(50, Point{16.2, 16.4, 0.0});
+  Params2D p;
+  p.hs = 4.0;
+  const DensitySurface s = kde2d_pb(pts, dom, p);
+  float best = -1.0f;
+  std::int32_t bx = 0, by = 0;
+  for (std::int32_t x = 0; x < s.nx; ++x)
+    for (std::int32_t y = 0; y < s.ny; ++y)
+      if (s.at(x, y) > best) {
+        best = s.at(x, y);
+        bx = x;
+        by = y;
+      }
+  EXPECT_EQ(bx, 16);
+  EXPECT_EQ(by, 16);
+}
+
+TEST(Kde2d, SurfaceDiffRejectsSizeMismatch) {
+  DensitySurface a, b;
+  a.nx = a.ny = 2;
+  a.values.assign(4, 0.0f);
+  b.nx = b.ny = 3;
+  b.values.assign(9, 0.0f);
+  EXPECT_THROW((void)a.max_abs_diff(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stkde::core

@@ -1,0 +1,145 @@
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stkde::kernels {
+namespace {
+
+// ---- typed tests over every kernel ---------------------------------------
+
+template <typename K>
+class KernelTypedTest : public ::testing::Test {};
+
+using AllKernels =
+    ::testing::Types<EpanechnikovKernel, AsPrintedKernel, UniformKernel,
+                     TriangularKernel, QuarticKernel, GaussianTruncatedKernel>;
+TYPED_TEST_SUITE(KernelTypedTest, AllKernels);
+
+TYPED_TEST(KernelTypedTest, SpatialVanishesOutsideUnitDisk) {
+  const TypeParam k;
+  EXPECT_DOUBLE_EQ(k.spatial(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.spatial(0.8, 0.8), 0.0);
+  EXPECT_DOUBLE_EQ(k.spatial(-2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(k.spatial(0.0, -1.0), 0.0);
+}
+
+TYPED_TEST(KernelTypedTest, SpatialPositiveAtCenter) {
+  const TypeParam k;
+  EXPECT_GT(k.spatial(0.0, 0.0), 0.0);
+}
+
+TYPED_TEST(KernelTypedTest, TemporalVanishesOutsideBar) {
+  const TypeParam k;
+  EXPECT_DOUBLE_EQ(k.temporal(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(k.temporal(-1.0001), 0.0);
+}
+
+TYPED_TEST(KernelTypedTest, TemporalPositiveAtCenter) {
+  const TypeParam k;
+  EXPECT_GT(k.temporal(0.0), 0.0);
+}
+
+TYPED_TEST(KernelTypedTest, KernelsAreNonNegativeEverywhere) {
+  const TypeParam k;
+  for (double u = -1.5; u <= 1.5; u += 0.1)
+    for (double v = -1.5; v <= 1.5; v += 0.1)
+      EXPECT_GE(k.spatial(u, v), 0.0) << u << "," << v;
+  for (double w = -1.5; w <= 1.5; w += 0.01)
+    EXPECT_GE(k.temporal(w), 0.0) << w;
+}
+
+TYPED_TEST(KernelTypedTest, NameIsNonEmptyAndRoundTrips) {
+  EXPECT_FALSE(TypeParam::name().empty());
+  const KernelVariant v = kernel_by_name(TypeParam::name());
+  EXPECT_EQ(kernel_name(v), TypeParam::name());
+}
+
+// ---- normalization --------------------------------------------------------
+
+// Standard kernels integrate to 1 over their support (the STKDE prefactor
+// 1/(n hs^2 ht) then makes the whole estimate integrate to 1).
+TEST(KernelNormalization, EpanechnikovIntegratesToOne) {
+  const EpanechnikovKernel k;
+  EXPECT_NEAR(spatial_integral(k, 800), 1.0, 1e-2);
+  EXPECT_NEAR(temporal_integral(k, 100000), 1.0, 1e-6);
+}
+
+TEST(KernelNormalization, UniformIntegratesToOne) {
+  const UniformKernel k;
+  EXPECT_NEAR(spatial_integral(k, 800), 1.0, 1e-2);
+  EXPECT_NEAR(temporal_integral(k, 100000), 1.0, 1e-6);
+}
+
+TEST(KernelNormalization, TriangularIntegratesToOne) {
+  const TriangularKernel k;
+  EXPECT_NEAR(spatial_integral(k, 800), 1.0, 1e-2);
+  EXPECT_NEAR(temporal_integral(k, 100000), 1.0, 1e-6);
+}
+
+TEST(KernelNormalization, QuarticIntegratesToOne) {
+  const QuarticKernel k;
+  EXPECT_NEAR(spatial_integral(k, 800), 1.0, 1e-2);
+  EXPECT_NEAR(temporal_integral(k, 100000), 1.0, 1e-6);
+}
+
+TEST(KernelNormalization, GaussianTruncatedIntegratesToOne) {
+  const GaussianTruncatedKernel k;
+  EXPECT_NEAR(spatial_integral(k, 800), 1.0, 1e-2);
+  EXPECT_NEAR(temporal_integral(k, 100000), 1.0, 1e-4);
+}
+
+// The as-printed transcription is *not* normalized — this is exactly why it
+// is not the library default (DESIGN.md §2).
+TEST(KernelNormalization, AsPrintedDoesNotIntegrateToOne) {
+  const AsPrintedKernel k;
+  EXPECT_GT(std::abs(spatial_integral(k, 400) - 1.0), 0.1);
+}
+
+// ---- symmetry -------------------------------------------------------------
+
+TEST(KernelSymmetry, StandardKernelsAreRadiallySymmetric) {
+  const EpanechnikovKernel e;
+  const QuarticKernel q;
+  EXPECT_DOUBLE_EQ(e.spatial(0.3, 0.4), e.spatial(0.4, 0.3));
+  EXPECT_DOUBLE_EQ(e.spatial(0.3, 0.4), e.spatial(-0.3, -0.4));
+  EXPECT_DOUBLE_EQ(e.spatial(0.5, 0.0), e.spatial(0.0, 0.5));
+  EXPECT_DOUBLE_EQ(q.spatial(0.3, -0.4), q.spatial(0.3, 0.4));
+}
+
+TEST(KernelSymmetry, TemporalIsEvenForStandardKernels) {
+  const EpanechnikovKernel e;
+  EXPECT_DOUBLE_EQ(e.temporal(0.7), e.temporal(-0.7));
+}
+
+TEST(KernelSymmetry, AsPrintedIsIntentionallyAsymmetric) {
+  const AsPrintedKernel k;
+  EXPECT_NE(k.temporal(0.5), k.temporal(-0.5));
+}
+
+// ---- monotone decay -------------------------------------------------------
+
+TEST(KernelDecay, DensityDecaysWithDistance) {
+  const EpanechnikovKernel k;
+  double prev = k.spatial(0.0, 0.0);
+  for (double r = 0.1; r < 1.0; r += 0.1) {
+    const double cur = k.spatial(r, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+// ---- variant --------------------------------------------------------------
+
+TEST(KernelVariantApi, UnknownNameThrows) {
+  EXPECT_THROW(kernel_by_name("nope"), std::invalid_argument);
+}
+
+TEST(KernelVariantApi, DefaultVariantIsEpanechnikov) {
+  const KernelVariant v{};
+  EXPECT_EQ(kernel_name(v), "epanechnikov");
+}
+
+}  // namespace
+}  // namespace stkde::kernels

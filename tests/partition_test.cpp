@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/decomposition.hpp"
+#include "partition/load.hpp"
+
+namespace stkde {
+namespace {
+
+TEST(Decomposition, UniformPartsCoverGridExactly) {
+  const GridDims d{100, 64, 33};
+  const Decomposition dec = Decomposition::uniform(d, DecompRequest{4, 8, 5});
+  EXPECT_EQ(dec.a(), 4);
+  EXPECT_EQ(dec.b(), 8);
+  EXPECT_EQ(dec.c(), 5);
+  // Subdomains tile the grid: volumes sum to total, no gaps at the seams.
+  std::int64_t vol = 0;
+  for (std::int64_t f = 0; f < dec.count(); ++f) vol += dec.subdomain(f).volume();
+  EXPECT_EQ(vol, d.voxels());
+  EXPECT_EQ(dec.subdomain(0, 0, 0).xlo, 0);
+  EXPECT_EQ(dec.subdomain(3, 0, 0).xhi, 100);
+}
+
+TEST(Decomposition, PartsClampToGridSize) {
+  const GridDims d{3, 3, 3};
+  const Decomposition dec = Decomposition::uniform(d, DecompRequest{64, 64, 64});
+  EXPECT_EQ(dec.a(), 3);
+  EXPECT_EQ(dec.b(), 3);
+  EXPECT_EQ(dec.c(), 3);
+}
+
+TEST(Decomposition, ClampedEnforcesTwiceBandwidthRule) {
+  const GridDims d{128, 128, 64};
+  // Hs = 8 => subdomains must span >= 16 voxels => at most 8 parts in x/y.
+  const Decomposition dec =
+      Decomposition::clamped(d, DecompRequest{64, 64, 64}, 8, 4);
+  EXPECT_LE(dec.a(), 8);
+  EXPECT_LE(dec.b(), 8);
+  EXPECT_LE(dec.c(), 8);
+  EXPECT_GE(dec.min_width_x(), 16);
+  EXPECT_GE(dec.min_width_y(), 16);
+  EXPECT_GE(dec.min_width_t(), 8);
+}
+
+TEST(Decomposition, ClampedKeepsSmallRequestsIntact) {
+  const GridDims d{128, 128, 128};
+  const Decomposition dec =
+      Decomposition::clamped(d, DecompRequest{2, 2, 2}, 4, 4);
+  EXPECT_EQ(dec.a(), 2);
+  EXPECT_EQ(dec.b(), 2);
+  EXPECT_EQ(dec.c(), 2);
+}
+
+TEST(Decomposition, ClampedDegeneratesToSingleSubdomain) {
+  // Bandwidth half the grid: no decomposition is safe.
+  const GridDims d{16, 16, 16};
+  const Decomposition dec =
+      Decomposition::clamped(d, DecompRequest{8, 8, 8}, 8, 8);
+  EXPECT_EQ(dec.count(), 1);
+}
+
+TEST(Decomposition, BinOfIsInverseOfSubdomain) {
+  const GridDims d{97, 53, 31};
+  const Decomposition dec = Decomposition::uniform(d, DecompRequest{7, 5, 3});
+  for (std::int32_t a = 0; a < dec.a(); ++a) {
+    const Extent3 e = dec.subdomain(a, 0, 0);
+    EXPECT_EQ(dec.bin_x(e.xlo), a);
+    EXPECT_EQ(dec.bin_x(e.xhi - 1), a);
+  }
+  // Every voxel maps into a bin whose extent contains it.
+  for (std::int32_t X = 0; X < d.gx; ++X) {
+    const std::int32_t a = dec.bin_x(X);
+    const Extent3 e = dec.subdomain(a, 0, 0);
+    EXPECT_GE(X, e.xlo);
+    EXPECT_LT(X, e.xhi);
+  }
+}
+
+TEST(Decomposition, FlatCoordsRoundTrip) {
+  const Decomposition dec =
+      Decomposition::uniform(GridDims{32, 32, 32}, DecompRequest{3, 4, 5});
+  for (std::int64_t f = 0; f < dec.count(); ++f) {
+    std::int32_t a, b, c;
+    dec.coords(f, a, b, c);
+    EXPECT_EQ(dec.flat(a, b, c), f);
+  }
+}
+
+TEST(Decomposition, ByCellSizeUsesFixedCells) {
+  const Decomposition dec = Decomposition::by_cell_size(GridDims{10, 10, 10},
+                                                        4, 4, 3);
+  EXPECT_EQ(dec.a(), 3);  // cells [0,4) [4,8) [8,10)
+  EXPECT_EQ(dec.c(), 4);  // [0,3) [3,6) [6,9) [9,10)
+  EXPECT_EQ(dec.subdomain(0, 0, 0).xhi, 4);
+  EXPECT_EQ(dec.subdomain(2, 0, 0).xhi, 10);
+}
+
+TEST(Decomposition, RejectsBadRequests) {
+  EXPECT_THROW(
+      Decomposition::uniform(GridDims{8, 8, 8}, DecompRequest{0, 1, 1}),
+      std::invalid_argument);
+}
+
+// ---- binning ---------------------------------------------------------------
+
+DomainSpec unit_domain(std::int32_t g) {
+  return DomainSpec{0, 0, 0, static_cast<double>(g), static_cast<double>(g),
+                    static_cast<double>(g), 1.0, 1.0};
+}
+
+TEST(Binning, OwnerBinningIsAPartition) {
+  const DomainSpec dom = unit_domain(32);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {4, 4, 4});
+  const PointSet pts = data::generate_uniform(dom, 500, 3);
+  const PointBins bins = bin_by_owner(pts, map, dec);
+  EXPECT_EQ(bins.total_entries, pts.size());
+  EXPECT_DOUBLE_EQ(bins.replication_factor(pts.size()), 1.0);
+  // Each point is in exactly the bin owning its voxel.
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < bins.bins.size(); ++v) {
+    for (const std::uint32_t i : bins.bins[v]) {
+      EXPECT_EQ(dec.owner(map.voxel_of(pts[i])),
+                static_cast<std::int64_t>(v));
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, pts.size());
+}
+
+TEST(Binning, IntersectionBinningIncludesOwner) {
+  const DomainSpec dom = unit_domain(32);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {4, 4, 4});
+  const PointSet pts = data::generate_uniform(dom, 300, 9);
+  const PointBins dd = bin_by_intersection(pts, map, dec, 3, 2);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto owner = static_cast<std::size_t>(dec.owner(map.voxel_of(pts[i])));
+    const auto& bin = dd.bins[owner];
+    EXPECT_NE(std::find(bin.begin(), bin.end(), static_cast<std::uint32_t>(i)),
+              bin.end());
+  }
+}
+
+TEST(Binning, IntersectionBinningMatchesCylinderOverlap) {
+  const DomainSpec dom = unit_domain(24);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {3, 3, 3});
+  const PointSet pts = data::generate_uniform(dom, 200, 21);
+  const std::int32_t Hs = 4, Ht = 2;
+  const PointBins dd = bin_by_intersection(pts, map, dec, Hs, Ht);
+  const Extent3 whole = Extent3::whole(dom.dims());
+  // Reference: brute-force intersection test for every (point, subdomain).
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Extent3 cyl =
+        Extent3::cylinder(map.voxel_of(pts[i]), Hs, Ht).intersect(whole);
+    for (std::int64_t v = 0; v < dec.count(); ++v) {
+      const bool expected = dec.subdomain(v).intersects(cyl);
+      const auto& bin = dd.bins[static_cast<std::size_t>(v)];
+      const bool present =
+          std::find(bin.begin(), bin.end(), static_cast<std::uint32_t>(i)) !=
+          bin.end();
+      ASSERT_EQ(present, expected) << "point " << i << " subdomain " << v;
+    }
+  }
+}
+
+TEST(Binning, ReplicationGrowsWithBandwidth) {
+  const DomainSpec dom = unit_domain(64);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {8, 8, 8});
+  const PointSet pts = data::generate_uniform(dom, 2000, 7);
+  const double r_small =
+      bin_by_intersection(pts, map, dec, 1, 1).replication_factor(pts.size());
+  const double r_large =
+      bin_by_intersection(pts, map, dec, 6, 6).replication_factor(pts.size());
+  EXPECT_GE(r_small, 1.0);
+  EXPECT_GT(r_large, r_small);
+}
+
+TEST(Binning, SingleSubdomainHasNoReplication) {
+  const DomainSpec dom = unit_domain(16);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {1, 1, 1});
+  const PointSet pts = data::generate_uniform(dom, 100, 2);
+  const PointBins dd = bin_by_intersection(pts, map, dec, 5, 5);
+  EXPECT_DOUBLE_EQ(dd.replication_factor(pts.size()), 1.0);
+}
+
+TEST(Binning, LoadsMatchBinSizes) {
+  const DomainSpec dom = unit_domain(16);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {2, 2, 2});
+  const PointSet pts = data::generate_uniform(dom, 100, 5);
+  const PointBins bins = bin_by_owner(pts, map, dec);
+  const auto loads = bins.loads();
+  std::uint64_t total = 0;
+  for (std::size_t v = 0; v < loads.size(); ++v) {
+    EXPECT_EQ(loads[v], bins.bins[v].size());
+    total += loads[v];
+  }
+  EXPECT_EQ(total, pts.size());
+}
+
+// ---- load model ------------------------------------------------------------
+
+TEST(Load, NeighborhoodSumsStencilNeighbors) {
+  const Decomposition dec =
+      Decomposition::uniform(GridDims{30, 30, 30}, {3, 3, 3});
+  std::vector<double> own(27, 1.0);
+  const auto nb = neighborhood_loads(dec, own);
+  // Center subdomain sees all 27; corner sees 8.
+  EXPECT_DOUBLE_EQ(nb[static_cast<std::size_t>(dec.flat(1, 1, 1))], 27.0);
+  EXPECT_DOUBLE_EQ(nb[static_cast<std::size_t>(dec.flat(0, 0, 0))], 8.0);
+}
+
+TEST(Load, ClusteredPointsShowImbalance) {
+  const DomainSpec dom = unit_domain(64);
+  const VoxelMapper map(dom);
+  const Decomposition dec = Decomposition::uniform(dom.dims(), {4, 4, 4});
+  const PointSet hot = data::generate_degenerate(dom, 1000);
+  const auto loads = point_count_loads(bin_by_owner(hot, map, dec));
+  EXPECT_DOUBLE_EQ(imbalance(loads).imbalance, 64.0);  // all in one bin
+}
+
+}  // namespace
+}  // namespace stkde

@@ -1,0 +1,208 @@
+// Mathematical properties of the estimate itself, checked across kernels and
+// strategies: mass conservation, translation invariance, scale behaviour,
+// monotone response to bandwidth. These catch errors equivalence tests
+// cannot (a consistently-wrong normalization would pass every comparison).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/voxel_mapper.hpp"
+#include "helpers.hpp"
+
+namespace stkde {
+namespace {
+
+using testing::make_tiny;
+
+// ---- mass conservation ------------------------------------------------------
+
+// Integral of the STKDE over space-time is (sum over voxels) * sres^2 * tres.
+// For kernels whose factors integrate to 1 and points away from the border,
+// the mass is 1 (each of the n points contributes 1/n). We compare against
+// the kernel's true numeric integral so non-normalized kernels also pass.
+struct MassCase {
+  std::string kernel;
+  Algorithm alg;
+};
+
+class MassConservationTest : public ::testing::TestWithParam<MassCase> {};
+
+TEST_P(MassConservationTest, TotalMassMatchesKernelIntegral) {
+  const auto& [kernel, alg] = GetParam();
+  // Fine grid so the midpoint rule is accurate: 64^3 voxels, bandwidth 12.
+  const DomainSpec dom{0, 0, 0, 64, 64, 64, 1.0, 1.0};
+  // Interior points only: the cylinder (radius 12) must stay inside.
+  data::ClusterConfig cfg;
+  cfg.n_points = 40;
+  cfg.n_clusters = 2;
+  cfg.cluster_sigma_frac = 0.05;
+  cfg.background_frac = 0.0;
+  cfg.seed = 3;
+  PointSet pts;
+  for (auto& p : data::generate_clustered(dom, cfg)) {
+    p.x = std::clamp(p.x, 14.0, 50.0);
+    p.y = std::clamp(p.y, 14.0, 50.0);
+    p.t = std::clamp(p.t, 14.0, 50.0);
+    pts.push_back(p);
+  }
+  Params params;
+  params.hs = 12.0;
+  params.ht = 12.0;
+  params.threads = 2;
+  params.kernel = kernels::kernel_by_name(kernel);
+
+  const Result r = estimate(pts, dom, params, alg);
+  const double mass = r.grid.sum() * dom.sres * dom.sres * dom.tres;
+
+  const double expected = std::visit(
+      [](const auto& k) {
+        return kernels::spatial_integral(k, 600) *
+               kernels::temporal_integral(k, 20000);
+      },
+      params.kernel);
+  EXPECT_NEAR(mass, expected, 0.05 * std::max(1.0, expected))
+      << kernel << " via " << to_string(alg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndStrategies, MassConservationTest,
+    ::testing::Values(MassCase{"epanechnikov", Algorithm::kPBSym},
+                      MassCase{"uniform", Algorithm::kPBSym},
+                      MassCase{"quartic", Algorithm::kPBSym},
+                      MassCase{"triangular", Algorithm::kPBSym},
+                      MassCase{"gaussian-truncated", Algorithm::kPBSym},
+                      MassCase{"as-printed", Algorithm::kPBSym},
+                      MassCase{"epanechnikov", Algorithm::kPBSymDD},
+                      MassCase{"epanechnikov", Algorithm::kPBSymPDSched},
+                      MassCase{"epanechnikov", Algorithm::kPBSymDR}),
+    [](const ::testing::TestParamInfo<MassCase>& info) {
+      std::string s = info.param.kernel + "_" + to_string(info.param.alg);
+      for (auto& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+// ---- invariances ------------------------------------------------------------
+
+TEST(Properties, TranslationInvariance) {
+  // Shifting points and domain together shifts the volume bit-for-bit.
+  const DomainSpec dom{0, 0, 0, 32, 32, 32, 1.0, 1.0};
+  const PointSet pts = data::generate_uniform(dom, 100, 5);
+  Params params;
+  params.hs = 4.0;
+  params.ht = 3.0;
+  const Result base = estimate(pts, dom, params, Algorithm::kPBSym);
+
+  DomainSpec shifted = dom;
+  shifted.x0 += 100.0;
+  shifted.y0 -= 17.0;
+  shifted.t0 += 3.5;
+  PointSet moved;
+  for (const auto& p : pts)
+    moved.push_back(Point{p.x + 100.0, p.y - 17.0, p.t + 3.5});
+  const Result shifted_r = estimate(moved, shifted, params, Algorithm::kPBSym);
+  EXPECT_LE(shifted_r.grid.max_abs_diff(base.grid),
+            testing::grid_tolerance(base.grid));
+}
+
+TEST(Properties, DensityScalesInverselyWithN) {
+  // Doubling every point (duplicates) keeps the density identical: the sum
+  // doubles but so does n in the 1/(n hs^2 ht) prefactor.
+  const DomainSpec dom{0, 0, 0, 32, 32, 32, 1.0, 1.0};
+  const PointSet pts = data::generate_uniform(dom, 80, 9);
+  PointSet doubled = pts;
+  doubled.insert(doubled.end(), pts.begin(), pts.end());
+  Params params;
+  params.hs = 3.0;
+  params.ht = 2.0;
+  const Result a = estimate(pts, dom, params, Algorithm::kPBSym);
+  const Result b = estimate(doubled, dom, params, Algorithm::kPBSym);
+  EXPECT_LE(b.grid.max_abs_diff(a.grid), 2.0 * testing::grid_tolerance(a.grid));
+}
+
+TEST(Properties, WiderBandwidthLowersThePeak) {
+  // KDE smoothing: larger hs spreads each point's unit mass over more
+  // voxels, so the maximum density decreases (Fig. 1's visual effect).
+  const DomainSpec dom{0, 0, 0, 48, 48, 48, 1.0, 1.0};
+  const PointSet pts = data::generate_degenerate(dom, 50);
+  Params params;
+  params.ht = 4.0;
+  params.threads = 1;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const double hs : {3.0, 6.0, 12.0}) {
+    params.hs = hs;
+    const Result r = estimate(pts, dom, params, Algorithm::kPBSym);
+    EXPECT_LT(r.grid.max_value(), prev);
+    prev = r.grid.max_value();
+  }
+}
+
+TEST(Properties, DensityIsNonNegativeEverywhere) {
+  auto t = make_tiny(200, 4, 3);
+  for (const Algorithm a : {Algorithm::kPBSym, Algorithm::kPBSymDD,
+                            Algorithm::kPBSymPDRep}) {
+    const Result r = estimate(t.points, t.domain, t.params, a);
+    float min_v = 0.0f;
+    for (std::int64_t i = 0; i < r.grid.size(); ++i)
+      min_v = std::min(min_v, r.grid.data()[i]);
+    EXPECT_GE(min_v, 0.0f) << to_string(a);
+  }
+}
+
+TEST(Properties, PeakIsNearTheHotSpot) {
+  const DomainSpec dom{0, 0, 0, 32, 32, 32, 1.0, 1.0};
+  PointSet pts = data::generate_degenerate(dom, 100);  // all at (16,16,16)
+  Params params;
+  params.hs = 4.0;
+  params.ht = 4.0;
+  const Result r = estimate(pts, dom, params, Algorithm::kPBSym);
+  const float peak = r.grid.max_value();
+  EXPECT_FLOAT_EQ(r.grid.at(16, 16, 16), peak);
+}
+
+TEST(Properties, DisjointSubsetsSumToWhole) {
+  // Linearity: f(A ∪ B) * |A∪B| = f(A) * |A| + f(B) * |B| pointwise.
+  const DomainSpec dom{0, 0, 0, 24, 24, 24, 1.0, 1.0};
+  const PointSet all = data::generate_uniform(dom, 120, 13);
+  const PointSet first(all.begin(), all.begin() + 60);
+  const PointSet second(all.begin() + 60, all.end());
+  Params params;
+  params.hs = 3.0;
+  params.ht = 2.0;
+  const Result r_all = estimate(all, dom, params, Algorithm::kPBSym);
+  const Result r_a = estimate(first, dom, params, Algorithm::kPBSym);
+  const Result r_b = estimate(second, dom, params, Algorithm::kPBSym);
+  double max_err = 0.0;
+  for (std::int64_t i = 0; i < r_all.grid.size(); ++i) {
+    const double combined = 0.5 * static_cast<double>(r_a.grid.data()[i]) +
+                            0.5 * static_cast<double>(r_b.grid.data()[i]);
+    max_err = std::max(
+        max_err, std::abs(combined - static_cast<double>(r_all.grid.data()[i])));
+  }
+  EXPECT_LE(max_err, 10.0 * testing::grid_tolerance(r_all.grid));
+}
+
+TEST(Properties, TemporalResolutionRefinementConverges) {
+  // Halving tres doubles Gt but the density at matching sample locations
+  // stays comparable (the estimate approximates a continuous function).
+  const DomainSpec coarse{0, 0, 0, 16, 16, 16, 1.0, 2.0};
+  const DomainSpec fine{0, 0, 0, 16, 16, 16, 1.0, 0.5};
+  PointSet pts = {Point{8.2, 8.4, 8.1}, Point{7.7, 8.9, 7.5}};
+  Params params;
+  params.hs = 5.0;
+  params.ht = 5.0;
+  const Result rc = estimate(pts, coarse, params, Algorithm::kPBSym);
+  const Result rf = estimate(pts, fine, params, Algorithm::kPBSym);
+  // Compare at the same physical location: coarse voxel T=4 center = t 9.0;
+  // fine voxel center t 9.0 is T=17 ((9.0-0.25)/0.5 = 17.5 -> T=17 center 8.75).
+  const VoxelMapper mc(coarse), mf(fine);
+  const Voxel vc = mc.voxel_of(Point{8.5, 8.5, 9.0});
+  const Voxel vf = mf.voxel_of(Point{8.5, 8.5, 9.0});
+  const float dc = rc.grid.at(vc.x, vc.y, vc.t);
+  const float df = rf.grid.at(vf.x, vf.y, vf.t);
+  EXPECT_NEAR(dc, df, 0.25 * std::max(dc, df));
+}
+
+}  // namespace
+}  // namespace stkde

@@ -1,0 +1,119 @@
+#include "grid/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stkde {
+namespace {
+
+DenseGrid3<float> random_grid(const Extent3& e, std::uint64_t seed) {
+  DenseGrid3<float> g(e);
+  util::Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < g.size(); ++i)
+    g.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return g;
+}
+
+TEST(ReduceReplicas, SumsAllReplicas) {
+  const Extent3 e{0, 4, 0, 5, 0, 6};
+  DenseGrid3<float> dst(e);
+  dst.fill(0.0f);
+  std::vector<DenseGrid3<float>> reps;
+  reps.push_back(random_grid(e, 1));
+  reps.push_back(random_grid(e, 2));
+  reps.push_back(random_grid(e, 3));
+  reduce_replicas(dst, reps, 2);
+  for (std::int64_t i = 0; i < dst.size(); ++i) {
+    const float expect =
+        reps[0].data()[i] + reps[1].data()[i] + reps[2].data()[i];
+    ASSERT_FLOAT_EQ(dst.data()[i], expect);
+  }
+}
+
+TEST(ReduceReplicas, AddsOntoExistingContent) {
+  const Extent3 e{0, 2, 0, 2, 0, 2};
+  DenseGrid3<float> dst(e);
+  dst.fill(10.0f);
+  std::vector<DenseGrid3<float>> reps;
+  reps.emplace_back(e);
+  reps.back().fill(1.0f);
+  reduce_replicas(dst, reps, 1);
+  EXPECT_FLOAT_EQ(dst.at(1, 1, 1), 11.0f);
+}
+
+TEST(ReduceReplicas, EmptyReplicaListIsNoop) {
+  const Extent3 e{0, 2, 0, 2, 0, 2};
+  DenseGrid3<float> dst(e);
+  dst.fill(5.0f);
+  reduce_replicas(dst, {}, 3);
+  EXPECT_FLOAT_EQ(dst.at(0, 0, 0), 5.0f);
+}
+
+TEST(ReduceReplicas, ThreadCountDoesNotChangeResult) {
+  const Extent3 e{0, 7, 0, 5, 0, 9};
+  std::vector<DenseGrid3<float>> reps;
+  reps.push_back(random_grid(e, 4));
+  reps.push_back(random_grid(e, 5));
+  DenseGrid3<float> d1(e), d4(e);
+  d1.fill(0.0f);
+  d4.fill(0.0f);
+  reduce_replicas(d1, reps, 1);
+  reduce_replicas(d4, reps, 4);
+  EXPECT_DOUBLE_EQ(d1.max_abs_diff(d4), 0.0);
+}
+
+TEST(ReduceReplicas, RejectsMismatchedExtent) {
+  DenseGrid3<float> dst(Extent3{0, 2, 0, 2, 0, 2});
+  std::vector<DenseGrid3<float>> reps;
+  reps.emplace_back(Extent3{0, 3, 0, 2, 0, 2});
+  EXPECT_THROW(reduce_replicas(dst, reps, 1), std::invalid_argument);
+}
+
+TEST(AccumulateBuffer, AddsOverlapRegionOnly) {
+  DenseGrid3<float> dst(Extent3{0, 10, 0, 10, 0, 10});
+  dst.fill(0.0f);
+  DenseGrid3<float> buf(Extent3{8, 12, 8, 12, 8, 12});  // partially outside
+  buf.fill(1.0f);
+  accumulate_buffer(dst, buf);
+  // Inside the overlap [8,10)^3 every cell gained 1.
+  EXPECT_FLOAT_EQ(dst.at(9, 9, 9), 1.0f);
+  EXPECT_FLOAT_EQ(dst.at(8, 8, 8), 1.0f);
+  // Outside stays 0.
+  EXPECT_FLOAT_EQ(dst.at(7, 9, 9), 0.0f);
+  EXPECT_FLOAT_EQ(dst.at(9, 7, 9), 0.0f);
+  EXPECT_FLOAT_EQ(dst.at(9, 9, 7), 0.0f);
+  EXPECT_DOUBLE_EQ(dst.sum(), 8.0);  // 2*2*2 overlap
+}
+
+TEST(AccumulateBuffer, RespectsBufferValues) {
+  DenseGrid3<float> dst(Extent3{0, 4, 0, 4, 0, 4});
+  dst.fill(0.5f);
+  DenseGrid3<float> buf(Extent3{1, 3, 1, 3, 1, 3});
+  buf.fill(0.0f);
+  buf.at(2, 2, 2) = 7.0f;
+  accumulate_buffer(dst, buf);
+  EXPECT_FLOAT_EQ(dst.at(2, 2, 2), 7.5f);
+  EXPECT_FLOAT_EQ(dst.at(1, 1, 1), 0.5f);
+}
+
+TEST(AccumulateBuffer, DisjointBufferIsNoop) {
+  DenseGrid3<float> dst(Extent3{0, 4, 0, 4, 0, 4});
+  dst.fill(1.0f);
+  DenseGrid3<float> buf(Extent3{10, 12, 10, 12, 10, 12});
+  buf.fill(100.0f);
+  accumulate_buffer(dst, buf);
+  EXPECT_DOUBLE_EQ(dst.sum(), 64.0);
+}
+
+TEST(AccumulateBuffer, DoubleSpecializationWorks) {
+  DenseGrid3<double> dst(Extent3{0, 2, 0, 2, 0, 2});
+  dst.fill(0.0);
+  DenseGrid3<double> buf(Extent3{0, 2, 0, 2, 0, 2});
+  buf.fill(0.25);
+  accumulate_buffer(dst, buf);
+  EXPECT_DOUBLE_EQ(dst.sum(), 2.0);
+}
+
+}  // namespace
+}  // namespace stkde

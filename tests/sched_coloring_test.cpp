@@ -1,0 +1,122 @@
+#include "sched/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stkde::sched {
+namespace {
+
+TEST(ParityColoring, Uses8ColorsOnLargeLattices) {
+  const StencilGraph g(4, 4, 4);
+  const Coloring c = parity_coloring(g);
+  EXPECT_EQ(c.num_colors, 8);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(ParityColoring, FewerColorsOnThinLattices) {
+  const StencilGraph g(1, 4, 4);  // parity of a is always 0
+  const Coloring c = parity_coloring(g);
+  EXPECT_LE(c.num_colors, 4);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(ParityColoring, SingletonUsesOneColor) {
+  const StencilGraph g(1, 1, 1);
+  const Coloring c = parity_coloring(g);
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(GreedyColoring, NaturalOrderIsValid) {
+  const StencilGraph g(5, 4, 3);
+  const Coloring c = greedy_coloring(g, natural_order(g.vertex_count()));
+  EXPECT_TRUE(is_valid_coloring(g, c));
+  EXPECT_LE(c.num_colors, 27);
+}
+
+TEST(GreedyColoring, AtMost8ColorsOnStencil) {
+  // Greedy on a stencil graph in natural order matches the parity structure:
+  // it should not need more than 8 colors.
+  const StencilGraph g(6, 6, 6);
+  const Coloring c = greedy_coloring(g, natural_order(g.vertex_count()));
+  EXPECT_LE(c.num_colors, 8);
+}
+
+TEST(GreedyColoring, LoadDescendingOrderIsValid) {
+  const StencilGraph g(4, 4, 4);
+  util::Xoshiro256 rng(3);
+  std::vector<double> loads(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& l : loads) l = rng.uniform(0.0, 100.0);
+  const Coloring c =
+      greedy_coloring(g, ColoringOrder::kLoadDescending, loads);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(GreedyColoring, SmallestLastOrderIsValid) {
+  const StencilGraph g(4, 3, 5);
+  const Coloring c = greedy_coloring(g, ColoringOrder::kSmallestLast, {});
+  EXPECT_TRUE(is_valid_coloring(g, c));
+  EXPECT_LE(c.num_colors, 27);
+}
+
+TEST(GreedyColoring, RejectsWrongOrderSize) {
+  const StencilGraph g(2, 2, 2);
+  EXPECT_THROW(greedy_coloring(g, std::vector<std::int64_t>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(LoadDescendingOrder, SortsByLoadStable) {
+  const std::vector<double> loads = {1.0, 5.0, 3.0, 5.0};
+  const auto o = load_descending_order(loads);
+  EXPECT_EQ(o[0], 1);  // first 5.0
+  EXPECT_EQ(o[1], 3);  // second 5.0 (stable)
+  EXPECT_EQ(o[2], 2);
+  EXPECT_EQ(o[3], 0);
+}
+
+TEST(LoadDescendingColoring, HeaviestVertexGetsColorZero) {
+  const StencilGraph g(3, 3, 3);
+  std::vector<double> loads(27, 1.0);
+  loads[static_cast<std::size_t>(g.flat(1, 1, 1))] = 100.0;
+  const Coloring c = greedy_coloring(g, ColoringOrder::kLoadDescending, loads);
+  EXPECT_EQ(c.color[static_cast<std::size_t>(g.flat(1, 1, 1))], 0);
+}
+
+TEST(SmallestLastOrder, IsAPermutation) {
+  const StencilGraph g(3, 4, 2);
+  const auto o = smallest_last_order(g);
+  std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+  for (const auto v : o) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, g.vertex_count());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(IsValidColoring, DetectsConflicts) {
+  const StencilGraph g(2, 1, 1);
+  Coloring c;
+  c.color = {0, 0};
+  c.num_colors = 1;
+  EXPECT_FALSE(is_valid_coloring(g, c));
+  c.color = {0, 1};
+  c.num_colors = 2;
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(IsValidColoring, DetectsUncoloredVertices) {
+  const StencilGraph g(2, 1, 1);
+  Coloring c;
+  c.color = {0, -1};
+  EXPECT_FALSE(is_valid_coloring(g, c));
+}
+
+TEST(ColoringOrderNames, AreDistinct) {
+  EXPECT_EQ(to_string(ColoringOrder::kNatural), "natural");
+  EXPECT_EQ(to_string(ColoringOrder::kLoadDescending), "load-desc");
+  EXPECT_EQ(to_string(ColoringOrder::kSmallestLast), "smallest-last");
+}
+
+}  // namespace
+}  // namespace stkde::sched

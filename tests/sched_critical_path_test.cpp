@@ -1,0 +1,116 @@
+#include "sched/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stkde::sched {
+namespace {
+
+TEST(CriticalPath, ChainOfAlternatingColors) {
+  // 1D path lattice a-b-c-d with alternating colors: the DAG is a chain,
+  // so Tinf = T1.
+  const StencilGraph g(4, 1, 1);
+  const Coloring c = parity_coloring(g);
+  const std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  const DagMetrics m = critical_path(g, c, w);
+  EXPECT_DOUBLE_EQ(m.total_work, 10.0);
+  // Parity coloring on a path alternates 0,1,0,1: edges 0->1, 2->1? No —
+  // edges go low->high color between *adjacent* vertices: 0-1, 1-2, 2-3.
+  // 0(c0)->1(c1), 2(c0)->1(c1), 2(c0)->3(c1): longest chain is max pair.
+  EXPECT_DOUBLE_EQ(m.critical_path, 7.0);  // 3.0 + 4.0
+}
+
+TEST(CriticalPath, IndependentVerticesHaveMaxWeightPath) {
+  // 1x1x1 lattices are independent; emulate with a single vertex.
+  const StencilGraph g(1, 1, 1);
+  Coloring c;
+  c.color = {0};
+  c.num_colors = 1;
+  const DagMetrics m = critical_path(g, c, {5.0});
+  EXPECT_DOUBLE_EQ(m.critical_path, 5.0);
+  EXPECT_DOUBLE_EQ(m.total_work, 5.0);
+  ASSERT_EQ(m.path.size(), 1u);
+}
+
+TEST(CriticalPath, PathVerticesAreAdjacentAndColorIncreasing) {
+  const StencilGraph g(4, 4, 4);
+  util::Xoshiro256 rng(7);
+  std::vector<double> w(static_cast<std::size_t>(g.vertex_count()));
+  for (auto& x : w) x = rng.uniform(0.1, 10.0);
+  const Coloring c = greedy_coloring(g, ColoringOrder::kLoadDescending, w);
+  const DagMetrics m = critical_path(g, c, w);
+  ASSERT_FALSE(m.path.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.path.size(); ++i) {
+    sum += w[static_cast<std::size_t>(m.path[i])];
+    if (i > 0) {
+      const auto prev = m.path[i - 1], cur = m.path[i];
+      EXPECT_LT(c.color[static_cast<std::size_t>(prev)],
+                c.color[static_cast<std::size_t>(cur)]);
+      const auto nb = g.neighbors(cur);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), prev), nb.end());
+    }
+  }
+  EXPECT_NEAR(sum, m.critical_path, 1e-9);
+}
+
+TEST(CriticalPath, BoundedByTotalWorkAndMaxVertex) {
+  const StencilGraph g(3, 3, 3);
+  std::vector<double> w(27, 1.0);
+  w[13] = 10.0;
+  const Coloring c = parity_coloring(g);
+  const DagMetrics m = critical_path(g, c, w);
+  EXPECT_LE(m.critical_path, m.total_work);
+  EXPECT_GE(m.critical_path, 10.0);
+}
+
+TEST(CriticalPath, ZeroWeightsGiveZeroPath) {
+  const StencilGraph g(2, 2, 2);
+  const Coloring c = parity_coloring(g);
+  const DagMetrics m = critical_path(g, c, std::vector<double>(8, 0.0));
+  EXPECT_DOUBLE_EQ(m.critical_path, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_work, 0.0);
+}
+
+TEST(CriticalPath, LoadAwareColoringNeverWorseOnHotVertex) {
+  // A hot vertex surrounded by cold ones: load-aware coloring colors it
+  // first (color 0), so its chain starts at the source; natural order can
+  // place it deeper. The paper's Fig. 12 observation in miniature.
+  const StencilGraph g(3, 3, 3);
+  std::vector<double> w(27, 1.0);
+  w[static_cast<std::size_t>(g.flat(1, 1, 1))] = 50.0;
+  const DagMetrics nat =
+      critical_path(g, greedy_coloring(g, natural_order(27)), w);
+  const DagMetrics sched = critical_path(
+      g, greedy_coloring(g, ColoringOrder::kLoadDescending, w), w);
+  EXPECT_LE(sched.critical_path, nat.critical_path);
+}
+
+TEST(CriticalPath, GrahamBoundInterpolatesWorkAndPath) {
+  DagMetrics m;
+  m.total_work = 100.0;
+  m.critical_path = 20.0;
+  EXPECT_DOUBLE_EQ(m.graham_bound(1), 100.0);
+  EXPECT_DOUBLE_EQ(m.graham_bound(4), 40.0);
+  EXPECT_GT(m.graham_bound(1000), 20.0);
+  EXPECT_NEAR(m.graham_bound(100000), 20.0, 0.1);
+}
+
+TEST(CriticalPath, SpeedupBoundCapsAtWorkOverPath) {
+  DagMetrics m;
+  m.total_work = 100.0;
+  m.critical_path = 25.0;
+  EXPECT_DOUBLE_EQ(m.speedup_bound(2), 2.0);   // work-limited
+  EXPECT_DOUBLE_EQ(m.speedup_bound(16), 4.0);  // path-limited
+}
+
+TEST(CriticalPath, RejectsSizeMismatch) {
+  const StencilGraph g(2, 2, 2);
+  const Coloring c = parity_coloring(g);
+  EXPECT_THROW(critical_path(g, c, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stkde::sched

@@ -1,0 +1,101 @@
+#include "sched/stencil_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace stkde::sched {
+namespace {
+
+TEST(StencilGraph, VertexCount) {
+  EXPECT_EQ(StencilGraph(3, 4, 5).vertex_count(), 60);
+  EXPECT_EQ(StencilGraph(1, 1, 1).vertex_count(), 1);
+}
+
+TEST(StencilGraph, InteriorVertexHas26Neighbors) {
+  const StencilGraph g(3, 3, 3);
+  EXPECT_EQ(g.degree(g.flat(1, 1, 1)), 26);
+}
+
+TEST(StencilGraph, CornerVertexHas7Neighbors) {
+  const StencilGraph g(3, 3, 3);
+  EXPECT_EQ(g.degree(g.flat(0, 0, 0)), 7);
+  EXPECT_EQ(g.degree(g.flat(2, 2, 2)), 7);
+}
+
+TEST(StencilGraph, EdgeVertexDegrees) {
+  const StencilGraph g(3, 3, 3);
+  EXPECT_EQ(g.degree(g.flat(1, 0, 0)), 11);   // edge of the cube
+  EXPECT_EQ(g.degree(g.flat(1, 1, 0)), 17);   // face center
+}
+
+TEST(StencilGraph, SingletonHasNoNeighbors) {
+  const StencilGraph g(1, 1, 1);
+  EXPECT_EQ(g.degree(0), 0);
+}
+
+TEST(StencilGraph, DegenerateAxesReduceDimension) {
+  // A 1 x 5 x 1 lattice is a path graph: interior degree 2.
+  const StencilGraph g(1, 5, 1);
+  EXPECT_EQ(g.degree(g.flat(0, 2, 0)), 2);
+  EXPECT_EQ(g.degree(g.flat(0, 0, 0)), 1);
+}
+
+TEST(StencilGraph, NeighborsAreSymmetric) {
+  const StencilGraph g(3, 2, 4);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    for (const std::int64_t u : g.neighbors(v)) {
+      const auto back = g.neighbors(u);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(StencilGraph, NeighborsDifferByAtMostOnePerAxis) {
+  const StencilGraph g(4, 4, 4);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    std::int32_t va, vb, vc;
+    g.coords(v, va, vb, vc);
+    for (const std::int64_t u : g.neighbors(v)) {
+      std::int32_t ua, ub, uc;
+      g.coords(u, ua, ub, uc);
+      EXPECT_LE(std::abs(ua - va), 1);
+      EXPECT_LE(std::abs(ub - vb), 1);
+      EXPECT_LE(std::abs(uc - vc), 1);
+      EXPECT_NE(u, v);
+    }
+  }
+}
+
+TEST(StencilGraph, NoDuplicateNeighbors) {
+  const StencilGraph g(3, 3, 2);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    const auto nb = g.neighbors(v);
+    const std::set<std::int64_t> uniq(nb.begin(), nb.end());
+    EXPECT_EQ(uniq.size(), nb.size());
+  }
+}
+
+TEST(StencilGraph, FlatCoordsRoundTrip) {
+  const StencilGraph g(5, 3, 7);
+  for (std::int64_t v = 0; v < g.vertex_count(); ++v) {
+    std::int32_t a, b, c;
+    g.coords(v, a, b, c);
+    EXPECT_EQ(g.flat(a, b, c), v);
+  }
+}
+
+TEST(StencilGraph, OfDecompositionMatchesShape) {
+  const Decomposition dec =
+      Decomposition::uniform(GridDims{64, 64, 64}, DecompRequest{4, 5, 6});
+  const StencilGraph g = StencilGraph::of(dec);
+  EXPECT_EQ(g.a(), 4);
+  EXPECT_EQ(g.b(), 5);
+  EXPECT_EQ(g.c(), 6);
+  EXPECT_EQ(g.vertex_count(), dec.count());
+}
+
+}  // namespace
+}  // namespace stkde::sched

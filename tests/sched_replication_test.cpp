@@ -1,0 +1,123 @@
+#include "sched/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stkde::sched {
+namespace {
+
+ReplicationParams params_for(int P) {
+  ReplicationParams rp;
+  rp.P = P;
+  return rp;
+}
+
+TEST(EffectiveWeights, UnreplicatedKeepsComputeCost) {
+  const auto w = effective_weights({10.0}, {1.0}, {1});
+  EXPECT_DOUBLE_EQ(w[0], 10.0);
+}
+
+TEST(EffectiveWeights, ReplicationSplitsComputeAddsReduce) {
+  // r=2: 10/2 + 1*2 = 7.
+  const auto w = effective_weights({10.0}, {1.0}, {2});
+  EXPECT_DOUBLE_EQ(w[0], 7.0);
+}
+
+TEST(EffectiveWeights, RejectsSizeMismatch) {
+  EXPECT_THROW(effective_weights({1.0, 2.0}, {1.0}, {1, 1}),
+               std::invalid_argument);
+}
+
+TEST(ReplicationPlan, BalancedLoadNeedsNoReplication) {
+  const StencilGraph g(4, 4, 4);
+  const Coloring c = parity_coloring(g);
+  const std::vector<double> compute(64, 1.0);
+  const std::vector<double> reduce(64, 0.1);
+  const ReplicationPlan p =
+      plan_replication(g, c, compute, reduce, params_for(2));
+  // Tinf for 8 colors of unit tasks is 8; T1/(2P) = 16 => already short.
+  EXPECT_EQ(p.replicated_count(), 0);
+  EXPECT_EQ(p.rounds, 0);
+  EXPECT_DOUBLE_EQ(p.final_cp, p.initial_cp);
+}
+
+TEST(ReplicationPlan, HotVertexGetsReplicated) {
+  const StencilGraph g(4, 4, 4);
+  const Coloring c = parity_coloring(g);
+  std::vector<double> compute(64, 1.0);
+  compute[0] = 1000.0;  // dominates the critical path
+  const std::vector<double> reduce(64, 0.5);
+  const ReplicationPlan p =
+      plan_replication(g, c, compute, reduce, params_for(8));
+  EXPECT_GT(p.replicated_count(), 0);
+  EXPECT_GT(p.factor[0], 1);
+  EXPECT_LT(p.final_cp, p.initial_cp);
+}
+
+TEST(ReplicationPlan, FinalPathNeverExceedsInitial) {
+  const StencilGraph g(3, 3, 3);
+  util::Xoshiro256 rng(5);
+  std::vector<double> compute(27), reduce(27);
+  for (auto& x : compute) x = rng.uniform(1.0, 100.0);
+  for (auto& x : reduce) x = rng.uniform(0.01, 0.5);
+  const Coloring c = greedy_coloring(g, ColoringOrder::kLoadDescending, compute);
+  const ReplicationPlan p =
+      plan_replication(g, c, compute, reduce, params_for(16));
+  EXPECT_LE(p.final_cp, p.initial_cp + 1e-9);
+  for (const auto f : p.factor) EXPECT_GE(f, 1);
+}
+
+TEST(ReplicationPlan, StopsAtThreshold) {
+  const StencilGraph g(4, 4, 4);
+  const Coloring c = parity_coloring(g);
+  std::vector<double> compute(64, 1.0);
+  compute[0] = 50.0;
+  const std::vector<double> reduce(64, 0.01);
+  const ReplicationParams rp = params_for(4);
+  const ReplicationPlan p = plan_replication(g, c, compute, reduce, rp);
+  const double target = rp.threshold_num * p.total_work / (rp.threshold_den * rp.P);
+  // Either the threshold was met or replication stalled (cap / no benefit).
+  if (p.rounds < rp.max_rounds && p.max_factor() < rp.max_factor)
+    EXPECT_LE(p.final_cp, target * (1.0 + 1e-9));
+}
+
+TEST(ReplicationPlan, MaxFactorCapRespected) {
+  const StencilGraph g(2, 1, 1);
+  Coloring c;
+  c.color = {0, 1};
+  c.num_colors = 2;
+  ReplicationParams rp = params_for(64);
+  rp.max_factor = 3;
+  const ReplicationPlan p =
+      plan_replication(g, c, {100.0, 100.0}, {0.0, 0.0}, rp);
+  EXPECT_LE(p.max_factor(), 3);
+}
+
+TEST(ReplicationPlan, ExpensiveReduceBlocksReplication) {
+  // When the reduce cost outweighs the compute split, replication does not
+  // shrink the path and the planner must stop rather than thrash.
+  const StencilGraph g(2, 1, 1);
+  Coloring c;
+  c.color = {0, 1};
+  c.num_colors = 2;
+  const ReplicationPlan p = plan_replication(g, c, {10.0, 10.0},
+                                             {100.0, 100.0}, params_for(16));
+  EXPECT_LE(p.rounds, 1);
+  EXPECT_DOUBLE_EQ(p.final_cp, p.initial_cp);
+}
+
+TEST(ReplicationPlan, RejectsBadInput) {
+  const StencilGraph g(2, 2, 2);
+  const Coloring c = parity_coloring(g);
+  EXPECT_THROW(plan_replication(g, c, std::vector<double>(3, 1.0),
+                                std::vector<double>(8, 1.0), params_for(2)),
+               std::invalid_argument);
+  ReplicationParams bad = params_for(0);
+  EXPECT_THROW(plan_replication(g, c, std::vector<double>(8, 1.0),
+                                std::vector<double>(8, 1.0), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stkde::sched

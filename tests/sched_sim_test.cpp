@@ -1,0 +1,144 @@
+#include "sched/simulator.hpp"
+
+#include "sched/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace stkde::sched {
+namespace {
+
+TEST(Simulator, SingleProcessorMakespanIsTotalWork) {
+  const StencilGraph g(3, 3, 3);
+  const Coloring c = parity_coloring(g);
+  std::vector<double> costs(27, 2.0);
+  const SimResult r = simulate_dag_schedule(g, c, costs, 1);
+  EXPECT_DOUBLE_EQ(r.makespan, 54.0);
+}
+
+TEST(Simulator, MakespanIsMonotoneNonIncreasingInP) {
+  const StencilGraph g(4, 4, 4);
+  util::Xoshiro256 rng(11);
+  std::vector<double> costs(64);
+  for (auto& x : costs) x = rng.uniform(0.1, 5.0);
+  const Coloring c = greedy_coloring(g, ColoringOrder::kLoadDescending, costs);
+  double prev = simulate_dag_schedule(g, c, costs, 1).makespan;
+  for (const int P : {2, 4, 8, 16}) {
+    const double m = simulate_dag_schedule(g, c, costs, P).makespan;
+    EXPECT_LE(m, prev + 1e-9) << "P=" << P;
+    prev = m;
+  }
+}
+
+TEST(Simulator, MakespanRespectsCriticalPathLowerBound) {
+  const StencilGraph g(4, 4, 4);
+  util::Xoshiro256 rng(13);
+  std::vector<double> costs(64);
+  for (auto& x : costs) x = rng.uniform(0.1, 5.0);
+  const Coloring c = greedy_coloring(g, natural_order(64));
+  const DagMetrics m = critical_path(g, c, costs);
+  const double span = simulate_dag_schedule(g, c, costs, 1000).makespan;
+  EXPECT_GE(span, m.critical_path - 1e-9);
+  // Graham: list schedule stays below the bound.
+  for (const int P : {2, 4, 8}) {
+    EXPECT_LE(simulate_dag_schedule(g, c, costs, P).makespan,
+              m.graham_bound(P) + 1e-9);
+  }
+}
+
+TEST(Simulator, StartTimesRespectDependencies) {
+  const StencilGraph g(3, 1, 1);
+  const Coloring c = parity_coloring(g);  // colors 0,1,0
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  const SimResult r = simulate_dag_schedule(g, c, costs, 2);
+  // Vertex 1 (color 1) depends on vertices 0 and 2 (color 0).
+  EXPECT_GE(r.start[1], std::max(r.finish[0], r.finish[2]) - 1e-12);
+}
+
+TEST(Simulator, PhasedScheduleHasColorBarriers) {
+  // Two colors; phase 2 cannot start before the slowest phase-1 task even
+  // if processors idle.
+  Coloring c;
+  c.color = {0, 0, 1};
+  c.num_colors = 2;
+  const std::vector<double> costs = {5.0, 1.0, 1.0};
+  const SimResult r = simulate_phased_schedule(c, costs, 4);
+  EXPECT_DOUBLE_EQ(r.start[2], 5.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Simulator, PhasedWithinColorUsesLPT) {
+  Coloring c;
+  c.color = {0, 0, 0, 0};
+  c.num_colors = 1;
+  const std::vector<double> costs = {3.0, 3.0, 2.0, 2.0};
+  // 2 processors, LPT: (3+2) and (3+2) -> makespan 5.
+  EXPECT_DOUBLE_EQ(simulate_phased_schedule(c, costs, 2).makespan, 5.0);
+}
+
+TEST(Simulator, DagScheduleBeatsOrMatchesPhased) {
+  // DAG execution relaxes the color barriers, so it can only be faster for
+  // identical priorities/costs (the paper's PD vs PD-SCHED argument).
+  const StencilGraph g(4, 4, 2);
+  util::Xoshiro256 rng(17);
+  std::vector<double> costs(32);
+  for (auto& x : costs) x = rng.uniform(0.0, 4.0);
+  const Coloring c = parity_coloring(g);
+  for (const int P : {2, 4}) {
+    const double phased = simulate_phased_schedule(c, costs, P).makespan;
+    const double dag = simulate_dag_schedule(g, c, costs, P).makespan;
+    EXPECT_LE(dag, phased + 1e-9) << "P=" << P;
+  }
+}
+
+TEST(Simulator, ExplicitDagMatchesHandComputation) {
+  // chain a(2) -> b(3); c(4) independent; P=2:
+  // t0: a,c start. t2: b starts. t4: c ends. t5: b ends.
+  std::vector<std::vector<std::int64_t>> succ(3);
+  succ[0] = {1};
+  const std::vector<double> costs = {2.0, 3.0, 4.0};
+  const SimResult r = simulate_explicit_dag(succ, costs, 2);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(r.start[1], 2.0);
+}
+
+TEST(Simulator, ExplicitDagCycleThrows) {
+  std::vector<std::vector<std::int64_t>> succ(2);
+  succ[0] = {1};
+  succ[1] = {0};
+  EXPECT_THROW(simulate_explicit_dag(succ, {1.0, 1.0}, 2), std::logic_error);
+}
+
+TEST(Simulator, RejectsBadInput) {
+  const StencilGraph g(2, 2, 2);
+  const Coloring c = parity_coloring(g);
+  EXPECT_THROW(simulate_dag_schedule(g, c, std::vector<double>(3, 1.0), 2),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_dag_schedule(g, c, std::vector<double>(8, 1.0), 0),
+               std::invalid_argument);
+}
+
+TEST(Simulator, EmptyTasksGiveZeroMakespan) {
+  EXPECT_DOUBLE_EQ(simulate_explicit_dag({}, {}, 4).makespan, 0.0);
+}
+
+TEST(Simulator, SpeedupShapeMatchesGraham) {
+  // A hot task of half the work limits speedup to ~2 regardless of P —
+  // the shape behind PollenUS Hr-Hb's PD ceiling (paper Fig. 12).
+  Coloring c;
+  c.color.assign(9, 0);
+  c.num_colors = 1;
+  std::vector<double> costs(9, 1.0);
+  costs[0] = 8.0;
+  const double t1 = simulate_phased_schedule(c, costs, 1).makespan;
+  const double t16 = simulate_phased_schedule(c, costs, 16).makespan;
+  EXPECT_DOUBLE_EQ(t1, 16.0);
+  EXPECT_DOUBLE_EQ(t16, 8.0);  // bounded by the hot task
+  EXPECT_DOUBLE_EQ(t1 / t16, 2.0);
+}
+
+}  // namespace
+}  // namespace stkde::sched

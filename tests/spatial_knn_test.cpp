@@ -1,0 +1,134 @@
+#include "spatial/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generator.hpp"
+#include "util/rng.hpp"
+
+namespace stkde::spatial {
+namespace {
+
+double brute_kth(const PointSet& pts, const Point& q, int k,
+                 bool exclude_one_zero) {
+  std::vector<double> d;
+  for (const auto& p : pts) {
+    const double dx = p.x - q.x, dy = p.y - q.y;
+    d.push_back(std::sqrt(dx * dx + dy * dy));
+  }
+  std::sort(d.begin(), d.end());
+  if (exclude_one_zero) {
+    const auto it = std::find(d.begin(), d.end(), 0.0);
+    if (it != d.end()) d.erase(it);
+  }
+  if (d.empty()) return 0.0;
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(k) - 1,
+                                         d.size() - 1);
+  return d[idx];
+}
+
+TEST(GridKnn, MatchesBruteForceOnRandomQueries) {
+  const DomainSpec dom{0, 0, 0, 100, 100, 100, 1, 1};
+  const PointSet pts = data::generate_uniform(dom, 500, 3);
+  const GridKnn knn(pts);
+  util::Xoshiro256 rng(9);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Point q{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0), 0.0};
+    for (const int k : {1, 3, 10}) {
+      EXPECT_NEAR(knn.kth_distance(q, k), brute_kth(pts, q, k, false), 1e-9)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(GridKnn, MatchesBruteForceOnClusteredData) {
+  const DomainSpec dom{0, 0, 0, 100, 100, 100, 1, 1};
+  data::ClusterConfig cfg;
+  cfg.n_points = 400;
+  cfg.n_clusters = 3;
+  cfg.cluster_sigma_frac = 0.02;
+  cfg.background_frac = 0.05;
+  const PointSet pts = data::generate_clustered(dom, cfg);
+  const GridKnn knn(pts);
+  util::Xoshiro256 rng(11);
+  for (int iter = 0; iter < 30; ++iter) {
+    const Point q{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0), 0.0};
+    EXPECT_NEAR(knn.kth_distance(q, 5), brute_kth(pts, q, 5, false), 1e-9);
+  }
+}
+
+TEST(GridKnn, NearestReturnsSortedIndices) {
+  const PointSet pts = {{0, 0, 0}, {1, 0, 0}, {5, 0, 0}, {2, 0, 0}};
+  const GridKnn knn(pts);
+  const auto ids = knn.nearest(Point{0.1, 0.0, 0.0}, 3);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[2], 3u);
+}
+
+TEST(GridKnn, NearestCapsAtSetSize) {
+  const PointSet pts = {{0, 0, 0}, {1, 1, 0}};
+  const GridKnn knn(pts);
+  EXPECT_EQ(knn.nearest(Point{0, 0, 0}, 10).size(), 2u);
+}
+
+TEST(GridKnn, EmptySetAndBadK) {
+  const GridKnn knn(PointSet{});
+  EXPECT_DOUBLE_EQ(knn.kth_distance(Point{1, 2, 3}, 3), 0.0);
+  EXPECT_TRUE(knn.nearest(Point{0, 0, 0}, 5).empty());
+  const GridKnn one(PointSet{{0, 0, 0}});
+  EXPECT_DOUBLE_EQ(one.kth_distance(Point{3, 4, 0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(one.kth_distance(Point{3, 4, 0}, 1), 5.0);
+}
+
+TEST(GridKnn, AllKthDistancesExcludeSelf) {
+  const PointSet pts = {{0, 0, 0}, {3, 0, 0}, {0, 4, 0}};
+  const GridKnn knn(pts);
+  const auto d = knn.all_kth_distances(1);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);  // nearest other point to (0,0)
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(GridKnn, AllKthDistancesMatchBruteForce) {
+  const DomainSpec dom{0, 0, 0, 50, 50, 50, 1, 1};
+  const PointSet pts = data::generate_uniform(dom, 200, 17);
+  const GridKnn knn(pts);
+  for (const int k : {1, 4}) {
+    const auto d = knn.all_kth_distances(k);
+    for (std::size_t i = 0; i < pts.size(); i += 17)  // sample some
+      EXPECT_NEAR(d[i], brute_kth(pts, pts[i], k, true), 1e-9)
+          << "i=" << i << " k=" << k;
+  }
+}
+
+TEST(GridKnn, DuplicatePointsCountAsZeroDistanceNeighbors) {
+  const PointSet pts = {{5, 5, 0}, {5, 5, 0}, {9, 5, 0}};
+  const GridKnn knn(pts);
+  const auto d = knn.all_kth_distances(1);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);  // its duplicate is its nearest neighbor
+  EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+TEST(GridKnn, DegenerateAllSameLocation) {
+  const PointSet pts(20, Point{1, 1, 0});
+  const GridKnn knn(pts);
+  const auto d = knn.all_kth_distances(3);
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GridKnn, CollinearPointsWork) {
+  // Degenerate bounding box (zero height) must not break bucketing.
+  PointSet pts;
+  for (int i = 0; i < 50; ++i)
+    pts.push_back(Point{static_cast<double>(i), 7.0, 0.0});
+  const GridKnn knn(pts);
+  EXPECT_NEAR(knn.kth_distance(Point{0.0, 7.0, 0.0}, 3), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stkde::spatial

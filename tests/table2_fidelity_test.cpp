@@ -1,0 +1,98 @@
+// Literal verification of every row of the paper's Table 2 against the
+// instance catalog — the bench harness derives everything from this
+// catalog, so a transcription slip here would silently skew every figure.
+// Also exercises the umbrella header as a compile test.
+
+#include <gtest/gtest.h>
+
+#include "stkde.hpp"
+
+namespace stkde::data {
+namespace {
+
+struct Row {
+  const char* name;
+  std::uint64_t n;
+  std::int32_t gx, gy, gt;
+  std::int32_t Hs, Ht;
+};
+
+// Table 2, verbatim.
+constexpr Row kTable2[] = {
+    {"Dengue_Lr-Lb", 11056, 148, 194, 728, 3, 1},
+    {"Dengue_Lr-Hb", 11056, 148, 194, 728, 25, 1},
+    {"Dengue_Hr-Lb", 11056, 294, 386, 728, 2, 1},
+    {"Dengue_Hr-Hb", 11056, 294, 386, 728, 50, 1},
+    {"Dengue_Hr-VHb", 11056, 294, 386, 728, 50, 14},
+    {"PollenUS_Lr-Lb", 588189, 131, 61, 84, 2, 3},
+    {"PollenUS_Hr-Lb", 588189, 651, 301, 84, 10, 3},
+    {"PollenUS_Hr-Mb", 588189, 651, 301, 84, 25, 7},
+    {"PollenUS_Hr-Hb", 588189, 651, 301, 84, 50, 14},
+    {"PollenUS_VHr-Lb", 588189, 6501, 3001, 84, 100, 3},
+    {"PollenUS_VHr-VLb", 588189, 6501, 3001, 84, 50, 3},
+    {"Flu_Lr-Lb", 31478, 117, 308, 851, 1, 1},
+    {"Flu_Lr-Hb", 31478, 117, 308, 851, 2, 3},
+    {"Flu_Mr-Lb", 31478, 233, 615, 1985, 2, 3},
+    {"Flu_Mr-Hb", 31478, 233, 615, 1985, 4, 7},
+    {"Flu_Hr-Lb", 31478, 581, 1536, 5951, 5, 7},
+    {"Flu_Hr-Hb", 31478, 581, 1536, 5951, 10, 21},
+    {"eBird_Lr-Lb", 291990435, 357, 721, 2435, 2, 3},
+    {"eBird_Lr-Hb", 291990435, 357, 721, 2435, 6, 5},
+    {"eBird_Hr-Lb", 291990435, 1781, 3601, 2435, 10, 3},
+    {"eBird_Hr-Hb", 291990435, 1781, 3601, 2435, 30, 5},
+};
+
+TEST(Table2Fidelity, EveryRowMatchesThePaper) {
+  const auto& catalog = paper_catalog();
+  ASSERT_EQ(catalog.size(), std::size(kTable2));
+  for (std::size_t i = 0; i < std::size(kTable2); ++i) {
+    const Row& r = kTable2[i];
+    const InstanceSpec& s = catalog[i];
+    EXPECT_EQ(s.name, r.name) << "row " << i;
+    EXPECT_EQ(s.n, r.n) << r.name;
+    EXPECT_EQ(s.dims.gx, r.gx) << r.name;
+    EXPECT_EQ(s.dims.gy, r.gy) << r.name;
+    EXPECT_EQ(s.dims.gt, r.gt) << r.name;
+    EXPECT_EQ(s.Hs, r.Hs) << r.name;
+    EXPECT_EQ(s.Ht, r.Ht) << r.name;
+  }
+}
+
+TEST(Table2Fidelity, DatasetsGroupAsInThePaper) {
+  // 5 Dengue, 6 PollenUS, 6 Flu, 4 eBird.
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& s : paper_catalog())
+    ++counts[static_cast<int>(s.dataset)];
+  EXPECT_EQ(counts[static_cast<int>(Dataset::kDengue)], 5);
+  EXPECT_EQ(counts[static_cast<int>(Dataset::kPollenUS)], 6);
+  EXPECT_EQ(counts[static_cast<int>(Dataset::kFlu)], 6);
+  EXPECT_EQ(counts[static_cast<int>(Dataset::kEBird)], 4);
+}
+
+TEST(Table2Fidelity, ResolutionOrderingWithinDatasets) {
+  // Lr < Hr grids (and Mr in between for Flu); Lb < Hb bandwidths.
+  EXPECT_LT(paper_instance("Dengue_Lr-Lb").dims.voxels(),
+            paper_instance("Dengue_Hr-Lb").dims.voxels());
+  EXPECT_LT(paper_instance("Flu_Lr-Lb").dims.voxels(),
+            paper_instance("Flu_Mr-Lb").dims.voxels());
+  EXPECT_LT(paper_instance("Flu_Mr-Lb").dims.voxels(),
+            paper_instance("Flu_Hr-Lb").dims.voxels());
+  EXPECT_LT(paper_instance("PollenUS_Hr-Lb").Hs,
+            paper_instance("PollenUS_Hr-Mb").Hs);
+  EXPECT_LT(paper_instance("PollenUS_Hr-Mb").Hs,
+            paper_instance("PollenUS_Hr-Hb").Hs);
+}
+
+TEST(Table2Fidelity, EBirdIsTheLargestDataset) {
+  std::uint64_t max_n = 0;
+  std::int64_t max_voxels = 0;
+  for (const auto& s : paper_catalog()) {
+    max_n = std::max(max_n, s.n);
+    max_voxels = std::max(max_voxels, s.dims.voxels());
+  }
+  EXPECT_EQ(max_n, paper_instance("eBird_Hr-Hb").n);
+  EXPECT_EQ(max_voxels, paper_instance("eBird_Hr-Lb").dims.voxels());
+}
+
+}  // namespace
+}  // namespace stkde::data

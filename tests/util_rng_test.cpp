@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stkde::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Xoshiro256 r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Xoshiro256 r(17);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 10000; ++i) ++seen[r.below(8)];
+  for (const int c : seen) EXPECT_GT(c, 1000);  // ~1250 expected each
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 r(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScales) {
+  Xoshiro256 r(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(SplitMix, DeterministicAndNonTrivial) {
+  SplitMix64 a(0), b(0);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(a.next(), x);
+}
+
+}  // namespace
+}  // namespace stkde::util

@@ -1,0 +1,125 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace stkde::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 7.5, -1.25};
+  RunningStats s;
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 5.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats e2;
+  e2.merge(a);
+  EXPECT_EQ(e2.count(), 2u);
+  EXPECT_NEAR(e2.mean(), 1.5, 1e-12);
+}
+
+TEST(LoadBalance, UniformLoadsAreBalanced) {
+  const LoadBalance lb = load_balance(std::vector<double>{4.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(lb.imbalance, 1.0);
+  EXPECT_EQ(lb.nonzero, 3u);
+}
+
+TEST(LoadBalance, SingleHotBucketShowsMaxOverMean) {
+  const LoadBalance lb = load_balance(std::vector<double>{0.0, 0.0, 0.0, 8.0});
+  EXPECT_DOUBLE_EQ(lb.mean, 2.0);
+  EXPECT_DOUBLE_EQ(lb.max, 8.0);
+  EXPECT_DOUBLE_EQ(lb.imbalance, 4.0);
+  EXPECT_EQ(lb.nonzero, 1u);
+}
+
+TEST(LoadBalance, EmptyAndAllZeroAreDefined) {
+  EXPECT_DOUBLE_EQ(load_balance(std::vector<double>{}).imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(load_balance(std::vector<double>{0.0, 0.0}).imbalance, 1.0);
+}
+
+TEST(LoadBalance, IntegerOverloadMatchesDouble) {
+  const std::vector<std::uint64_t> li = {1, 2, 3};
+  const std::vector<double> ld = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(load_balance(li).imbalance, load_balance(ld).imbalance);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.bins()[0], 1u);
+  EXPECT_EQ(h.bins()[2], 1u);
+  EXPECT_EQ(h.bins()[4], 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bins().front(), 1u);
+  EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stkde::util

@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stkde::util {
+namespace {
+
+TEST(Table, PrintsHeadersAndRule) {
+  Table t({"name", "value"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"a", "b"});
+  t.row().cell("wide-cell-content").cell("x");
+  t.row().cell("s").cell("y");
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);  // header
+  std::getline(is, l2);  // rule
+  std::getline(is, l3);
+  std::getline(is, l4);
+  // Column 2 starts at the same offset on both data rows.
+  EXPECT_EQ(l3.find(" x"), l4.find(" y"));
+}
+
+TEST(Table, NumericCellsFormatWithPrecision) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, IntegerCellOverloads) {
+  Table t({"a", "b", "c"});
+  t.row().cell(42).cell(std::uint64_t{7}).cell(std::int64_t{-3});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_NE(os.str().find("-3"), std::string::npos);
+}
+
+TEST(FormatSeconds, PicksAdaptiveUnits) {
+  EXPECT_NE(format_seconds(2.5).find("s"), std::string::npos);
+  EXPECT_NE(format_seconds(0.0025).find("ms"), std::string::npos);
+  EXPECT_NE(format_seconds(2.5e-6).find("us"), std::string::npos);
+}
+
+TEST(FormatFixed, RoundsHalfAway) {
+  EXPECT_EQ(format_fixed(1.25, 1), "1.2");  // banker's-ish via printf
+  EXPECT_EQ(format_fixed(1.0, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace stkde::util

@@ -1,0 +1,93 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace stkde::util {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.009);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, ResetRestartsFromZero) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.005);
+}
+
+TEST(Timer, MillisMatchesSeconds) {
+  Timer t;
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+TEST(PhaseTimer, AccumulatesIntoNamedPhases) {
+  PhaseTimer pt;
+  pt.start("a");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pt.start("b");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pt.stop();
+  EXPECT_GE(pt.seconds("a"), 0.004);
+  EXPECT_GE(pt.seconds("b"), 0.004);
+  EXPECT_EQ(pt.seconds("c"), 0.0);
+}
+
+TEST(PhaseTimer, ReenteringAPhaseAccumulates) {
+  PhaseTimer pt;
+  pt.add("x", 1.0);
+  pt.add("x", 2.5);
+  EXPECT_DOUBLE_EQ(pt.seconds("x"), 3.5);
+}
+
+TEST(PhaseTimer, TotalSumsAllPhases) {
+  PhaseTimer pt;
+  pt.add("a", 1.0);
+  pt.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(pt.total(), 3.0);
+}
+
+TEST(PhaseTimer, PhasesKeepFirstEnteredOrder) {
+  PhaseTimer pt;
+  pt.add("z", 1.0);
+  pt.add("a", 1.0);
+  pt.add("z", 1.0);
+  ASSERT_EQ(pt.phases().size(), 2u);
+  EXPECT_EQ(pt.phases()[0], "z");
+  EXPECT_EQ(pt.phases()[1], "a");
+}
+
+TEST(PhaseTimer, MergeAddsPhaseWise) {
+  PhaseTimer a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.seconds("y"), 5.0);
+}
+
+TEST(PhaseTimer, StopWithoutStartIsNoop) {
+  PhaseTimer pt;
+  pt.stop();
+  EXPECT_DOUBLE_EQ(pt.total(), 0.0);
+}
+
+TEST(ScopedPhase, TimesItsScope) {
+  PhaseTimer pt;
+  {
+    ScopedPhase s(pt, "scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GE(pt.seconds("scoped"), 0.002);
+}
+
+}  // namespace
+}  // namespace stkde::util
