@@ -67,8 +67,13 @@ int main(int argc, char** argv) {
       std::string where = "-";
       if (!clusters.empty()) {
         const Point c = map.center_of(clusters[0].peak_voxel);
-        where = "(" + util::format_fixed(c.x, 0) + ", " +
-                util::format_fixed(c.y, 0) + ")";
+        // Built with += : operator+(const char*, string&&) trips GCC 12's
+        // -Wrestrict false positive (PR105329) under -Werror.
+        where = "(";
+        where += util::format_fixed(c.x, 0);
+        where += ", ";
+        where += util::format_fixed(c.y, 0);
+        where += ")";
       }
       t.row()
           .cell(day + 1)

@@ -111,7 +111,7 @@ TEST(DensityQuantile, HandlesEdgeCases) {
   DensityGrid zeros(GridDims{4, 4, 4});
   zeros.fill(0.0f);
   EXPECT_FLOAT_EQ(density_quantile(zeros, 0.9), 0.0f);
-  EXPECT_THROW(density_quantile(zeros, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)density_quantile(zeros, 1.5), std::invalid_argument);
 }
 
 TEST(Clusters, EndToEndOnRealDensity) {

@@ -153,7 +153,7 @@ TEST(Estimator, ValidatesDomainAtRun) {
 TEST(AlgorithmNames, RoundTrip) {
   for (const Algorithm a : all_algorithms())
     EXPECT_EQ(algorithm_by_name(to_string(a)), a);
-  EXPECT_THROW(algorithm_by_name("PB-NOPE"), std::invalid_argument);
+  EXPECT_THROW((void)algorithm_by_name("PB-NOPE"), std::invalid_argument);
 }
 
 TEST(AlgorithmNames, ParallelClassification) {

@@ -43,7 +43,7 @@ TEST(PaperCatalog, GridBytesMatchTable2SizeColumn) {
 }
 
 TEST(PaperCatalog, UnknownNameThrows) {
-  EXPECT_THROW(paper_instance("Dengue_Nope"), std::invalid_argument);
+  EXPECT_THROW((void)paper_instance("Dengue_Nope"), std::invalid_argument);
 }
 
 TEST(PaperCatalog, DatasetNamesEmbeddedInInstanceNames) {

@@ -165,15 +165,17 @@ TEST(VoxelMapper, CylinderLoopRangeCoversKernelSupport) {
     const GridDims dims = d.dims();
     for (std::int32_t X = 0; X < dims.gx; ++X) {
       const double dx = std::abs(m.x_of(X) - p.x);
-      if (dx < hs)
+      if (dx < hs) {
         ASSERT_TRUE(X >= c.x - Hs && X <= c.x + Hs)
             << "X=" << X << " c.x=" << c.x << " Hs=" << Hs;
+      }
     }
     for (std::int32_t T = 0; T < dims.gt; ++T) {
       const double dt = std::abs(m.t_of(T) - p.t);
-      if (dt <= ht)
+      if (dt <= ht) {
         ASSERT_TRUE(T >= c.t - Ht && T <= c.t + Ht)
             << "T=" << T << " c.t=" << c.t << " Ht=" << Ht;
+      }
     }
   }
 }

@@ -1,0 +1,15 @@
+/// Smoke test: the umbrella header must compile standalone — no hidden
+/// dependency on other headers being included first — and expose the core
+/// public types. Keeps the public API surface buildable as modules evolve.
+#include "stkde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+TEST(IncludeSmoke, UmbrellaHeaderExposesCoreTypes) {
+  stkde::Params params;
+  (void)params;
+  EXPECT_TRUE((std::is_default_constructible_v<stkde::DomainSpec>));
+  EXPECT_TRUE((std::is_default_constructible_v<stkde::PointSet>));
+}

@@ -133,7 +133,7 @@ TEST(KernelDecay, DensityDecaysWithDistance) {
 // ---- variant --------------------------------------------------------------
 
 TEST(KernelVariantApi, UnknownNameThrows) {
-  EXPECT_THROW(kernel_by_name("nope"), std::invalid_argument);
+  EXPECT_THROW((void)kernel_by_name("nope"), std::invalid_argument);
 }
 
 TEST(KernelVariantApi, DefaultVariantIsEpanechnikov) {

@@ -117,8 +117,9 @@ TEST(Advisor, RanksFeasibleFirstAndSorted) {
   for (std::size_t i = 0; i < a.ranking.size(); ++i) {
     if (!a.ranking[i].feasible) seen_infeasible = true;
     else EXPECT_FALSE(seen_infeasible) << "feasible after infeasible";
-    if (i > 0 && a.ranking[i].feasible == a.ranking[i - 1].feasible)
+    if (i > 0 && a.ranking[i].feasible == a.ranking[i - 1].feasible) {
       EXPECT_GE(a.ranking[i].seconds, prev - 1e-12);
+    }
     prev = a.ranking[i].seconds;
   }
 }

@@ -141,9 +141,10 @@ TEST(SchedIntegration, ParityDagMatchesPhasedSemantics) {
   for (std::int64_t v = 0; v < 16; ++v) {
     g.for_neighbors(v, [&](std::int64_t u) {
       if (c.color[static_cast<std::size_t>(v)] <
-          c.color[static_cast<std::size_t>(u)])
+          c.color[static_cast<std::size_t>(u)]) {
         EXPECT_LT(order_stamp[static_cast<std::size_t>(v)],
                   order_stamp[static_cast<std::size_t>(u)]);
+      }
     });
   }
 }

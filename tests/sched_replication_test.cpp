@@ -78,8 +78,9 @@ TEST(ReplicationPlan, StopsAtThreshold) {
   const ReplicationPlan p = plan_replication(g, c, compute, reduce, rp);
   const double target = rp.threshold_num * p.total_work / (rp.threshold_den * rp.P);
   // Either the threshold was met or replication stalled (cap / no benefit).
-  if (p.rounds < rp.max_rounds && p.max_factor() < rp.max_factor)
+  if (p.rounds < rp.max_rounds && p.max_factor() < rp.max_factor) {
     EXPECT_LE(p.final_cp, target * (1.0 + 1e-9));
+  }
 }
 
 TEST(ReplicationPlan, MaxFactorCapRespected) {
