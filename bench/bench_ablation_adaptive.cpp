@@ -14,8 +14,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner(
       "Ablation — adaptive-bandwidth STKDE vs fixed PB-SYM (extension)", env);
 
@@ -57,5 +58,8 @@ int main() {
   }
   std::cout << "\n\n";
   t.print(std::cout);
+  bench::JsonArtifact json("ablation_adaptive", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

@@ -9,8 +9,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 7 — PB-SYM runtime breakdown (init vs compute)",
                       env);
 
@@ -38,5 +39,8 @@ int main() {
   }
   std::cout << "\n\n[bar: I = init share, . = compute share]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig07_breakdown", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

@@ -17,8 +17,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 8 — PB-SYM-DR speedup vs thread count", env);
 
   util::Table t({"Instance", "seq PB-SYM (s)", "real DR (s)", "S(1)", "S(2)",
@@ -61,5 +62,8 @@ int main() {
                "measured phases; OOM = P+1 replicas of the paper-sized grid "
                "exceed the paper machine's 128 GB]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig08_dr_speedup", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

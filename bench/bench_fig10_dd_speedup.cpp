@@ -12,8 +12,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 10 — PB-SYM-DD speedup, 16 threads", env);
   const int P = 16;
 
@@ -58,5 +59,8 @@ int main() {
   std::cout << "\n\n[cells: simulated 16-thread speedup over sequential "
                "PB-SYM from measured per-subdomain costs]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig10_dd_speedup", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

@@ -12,8 +12,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 11 — PB-SYM-PD speedup, 16 threads", env);
   const int P = 16;
 
@@ -61,5 +62,8 @@ int main() {
                "measured task costs); 'adjusted' = actual decomposition after "
                "the 2Hs/2Ht minimum-size rule at 64^3]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig11_pd_speedup", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

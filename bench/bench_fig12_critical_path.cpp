@@ -18,8 +18,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner(
       "Figure 12 — relative critical path, PD vs PD-SCHED (64^3)", env);
 
@@ -61,5 +62,8 @@ int main() {
                "subdomain; lower is better; Graham bound = max speedup the "
                "SCHED coloring permits at 16 threads]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig12_critical_path", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

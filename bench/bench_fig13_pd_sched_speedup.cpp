@@ -17,8 +17,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 13 — PB-SYM-PD-SCHED speedup, 16 threads", env);
   const int P = 16;
 
@@ -73,5 +74,8 @@ int main() {
                "makespan / phase-synchronous makespan at 64^3 (< 1 = barrier "
                "relaxation wins)]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig13_pd_sched_speedup", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

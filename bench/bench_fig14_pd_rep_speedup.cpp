@@ -16,8 +16,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Figure 14 — PB-SYM-PD-REP speedup, 16 threads", env);
   const int P = 16;
 
@@ -98,5 +99,8 @@ int main() {
                "OOM = replica buffers at paper scale exceed the paper "
                "machine's 128 GB]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig14_pd_rep_speedup", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

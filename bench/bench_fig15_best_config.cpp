@@ -35,8 +35,9 @@ void consider(Best& b, double speedup, const std::string& cfg) {
 
 }  // namespace
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner(
       "Figure 15 — best configuration of each parallel strategy", env);
   const int P = 16;
@@ -175,5 +176,8 @@ int main() {
   std::cout << "\n\n[cells: best simulated 16-thread speedup over sequential "
                "PB-SYM and the decomposition achieving it]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("fig15_best_config", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

@@ -8,8 +8,9 @@
 
 using namespace stkde;
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner("Table 2 — instance catalog (paper + laptop scaling)",
                       env);
 
@@ -42,5 +43,9 @@ int main() {
   }
   std::cout << "\n[laptop-scaled instances used by the bench harness]\n";
   lap.print(std::cout);
+  bench::JsonArtifact json("table2_instances", env, cli);
+  json.add_table("paper_scale", paper);
+  json.add_table("laptop_scale", lap);
+  json.write();
   return 0;
 }

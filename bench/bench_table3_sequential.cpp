@@ -70,8 +70,9 @@ std::optional<double> timed_run(Algorithm alg, const data::Instance& inst,
 
 }  // namespace
 
-int main() {
-  const bench::BenchEnv env = bench::bench_env();
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+  const bench::BenchEnv env = bench::bench_env(cli);
   bench::print_banner(
       "Table 3 — sequential algorithm engineering (VB .. PB-SYM)", env);
 
@@ -116,5 +117,8 @@ int main() {
                "grids, paper bandwidth shape, n capped for VB; '-' = skipped "
                "as prohibitively slow, matching Table 3's blank cells]\n";
   t.print(std::cout);
+  bench::JsonArtifact json("table3_sequential", env, cli);
+  json.add_table("rows", t);
+  json.write();
   return 0;
 }

@@ -1,9 +1,15 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "geom/voxel_mapper.hpp"
 #include "partition/binning.hpp"
@@ -21,10 +27,13 @@ std::string BenchEnv::describe() const {
   return buf;
 }
 
-BenchEnv bench_env() {
+namespace {
+
+BenchEnv make_env(bool smoke) {
   BenchEnv env;
   double scale = util::env_double("STKDE_BENCH_SCALE", 1.0);
-  if (util::env_flag("STKDE_BENCH_FAST")) scale = std::min(scale, 0.05);
+  // --smoke and STKDE_BENCH_FAST=1 apply the same reduction.
+  if (smoke || util::env_flag("STKDE_BENCH_FAST")) scale = std::min(scale, 0.05);
   scale = std::clamp(scale, 1e-3, 100.0);
   env.budget.voxel_cap =
       static_cast<std::int64_t>(12'000'000.0 * scale);
@@ -34,6 +43,143 @@ BenchEnv bench_env() {
   env.memory_parallel_cap = util::env_double("STKDE_BENCH_MEMCAP", 3.0);
   env.max_cell_work = util::env_double("STKDE_BENCH_MAX_WORK", 2.5e9) * scale;
   return env;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cli.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      // Refuse to swallow a following flag as the path.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        cli.json_path = argv[++i];
+      } else {
+        std::cerr << "warning: --json requires a path argument; ignoring\n";
+      }
+    }
+  }
+  return cli;
+}
+
+BenchEnv bench_env(const CliOptions& cli) { return make_env(cli.smoke); }
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Cells that parse fully as a finite double are emitted as JSON numbers;
+/// everything else (names, "-" skip markers, "OOM", "inf"/"nan" — JSON has
+/// no non-finite number literals) stays a string.
+std::string json_scalar(const std::string& cell) {
+  if (!cell.empty()) {
+    double value = 0.0;
+    const char* const last = cell.data() + cell.size();
+    const auto [ptr, ec] = std::from_chars(cell.data(), last, value);
+    if (ec == std::errc() && ptr == last && std::isfinite(value)) {
+      return cell;  // already a valid JSON number literal
+    }
+  }
+  std::string quoted = "\"";
+  quoted += json_escape(cell);
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+JsonArtifact::JsonArtifact(std::string bench, const BenchEnv& env,
+                           CliOptions cli)
+    : bench_(std::move(bench)), env_describe_(env.describe()),
+      cli_(std::move(cli)) {}
+
+void JsonArtifact::add_table(const std::string& name, const util::Table& t) {
+  std::ostringstream os;
+  os << "[";
+  const auto& headers = t.headers();
+  bool first_row = true;
+  for (const auto& row : t.cells()) {
+    os << (first_row ? "" : ",") << "\n    {";
+    for (std::size_t c = 0; c < row.size() && c < headers.size(); ++c)
+      os << (c ? ", " : "") << "\"" << json_escape(headers[c])
+         << "\": " << json_scalar(row[c]);
+    os << "}";
+    first_row = false;
+  }
+  os << (first_row ? "]" : "\n  ]");
+  tables_.emplace_back(name, os.str());
+}
+
+void JsonArtifact::add_scalar(const std::string& key, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan literals
+    scalars_.emplace_back(key, "null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  scalars_.emplace_back(key, buf);
+}
+
+void JsonArtifact::add_scalar(const std::string& key, std::int64_t v) {
+  scalars_.emplace_back(key, std::to_string(v));
+}
+
+void JsonArtifact::add_scalar(const std::string& key, const std::string& v) {
+  std::string quoted = "\"";
+  quoted += json_escape(v);
+  quoted += '"';
+  scalars_.emplace_back(key, std::move(quoted));
+}
+
+void JsonArtifact::add_scalar(const std::string& key, const char* v) {
+  add_scalar(key, std::string(v));
+}
+
+void JsonArtifact::add_scalar(const std::string& key, bool v) {
+  scalars_.emplace_back(key, v ? "true" : "false");
+}
+
+bool JsonArtifact::write() const {
+  if (!cli_.json_path) return false;
+  std::ofstream out(*cli_.json_path);
+  if (!out) {
+    std::cerr << "warning: cannot write JSON artifact to " << *cli_.json_path
+              << "\n";
+    return false;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(bench_) << "\",\n"
+      << "  \"host_threads\": " << util::hardware_threads() << ",\n"
+      << "  \"env\": \"" << json_escape(env_describe_) << "\",\n"
+      << "  \"smoke\": " << (cli_.smoke ? "true" : "false");
+  for (const auto& [key, json] : scalars_)
+    out << ",\n  \"" << json_escape(key) << "\": " << json;
+  for (const auto& [name, json] : tables_)
+    out << ",\n  \"" << json_escape(name) << "\": " << json;
+  out << "\n}\n";
+  std::cout << "[json artifact written to " << *cli_.json_path << "]\n";
+  return true;
 }
 
 const std::vector<std::int32_t>& decomp_sweep() {

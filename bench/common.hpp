@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/estimator.hpp"
@@ -37,8 +38,52 @@ struct BenchEnv {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Read the environment and build the bench configuration.
-[[nodiscard]] BenchEnv bench_env();
+/// CLI flags shared by every figure bench:
+///   --json <path>  write the run's tables/records as a JSON artifact
+///   --smoke        shrink the instance for a seconds-long CI run
+///                  (equivalent to STKDE_BENCH_FAST=1)
+/// Unknown arguments are ignored so benches stay env-var driven.
+struct CliOptions {
+  std::optional<std::string> json_path;
+  bool smoke = false;
+};
+
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv);
+
+/// Read the environment, apply the CLI, and build the bench configuration
+/// (--smoke shrinks the budget the same way STKDE_BENCH_FAST=1 does).
+[[nodiscard]] BenchEnv bench_env(const CliOptions& cli);
+
+/// Machine-readable JSON artifact: named tables (serialized row-by-row with
+/// column headers as keys; numeric-looking cells become JSON numbers) plus
+/// free-form scalar metadata. write() is a no-op when --json was not given,
+/// so every bench can call it unconditionally.
+class JsonArtifact {
+ public:
+  JsonArtifact(std::string bench, const BenchEnv& env, CliOptions cli);
+
+  /// Attach a finished table under \p name.
+  void add_table(const std::string& name, const util::Table& t);
+
+  /// Top-level scalar metadata (numbers / strings / bools). The const char*
+  /// overload exists so string literals don't decay to the bool overload.
+  void add_scalar(const std::string& key, double v);
+  void add_scalar(const std::string& key, std::int64_t v);
+  void add_scalar(const std::string& key, const std::string& v);
+  void add_scalar(const std::string& key, const char* v);
+  void add_scalar(const std::string& key, bool v);
+
+  /// Serialize to cli.json_path if set; prints the path written. Returns
+  /// true when a file was written.
+  bool write() const;
+
+ private:
+  std::string bench_;
+  std::string env_describe_;
+  CliOptions cli_;
+  std::vector<std::pair<std::string, std::string>> scalars_;  ///< key, json
+  std::vector<std::pair<std::string, std::string>> tables_;   ///< name, json
+};
 
 /// The paper's decomposition sweep: 1^3 .. 64^3 (Figs. 9-14).
 [[nodiscard]] const std::vector<std::int32_t>& decomp_sweep();

@@ -46,12 +46,13 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
   util::ScopedPhase compute(res.phases, phase::kCompute);
   const std::int64_t nsub = dec.count();
   res.diag.task_seconds.assign(static_cast<std::size_t>(nsub), 0.0);
+  std::int64_t cells = 0, span = 0, nz = 0;
   detail::with_kernel(p.kernel, [&](const auto& k) {
 #pragma omp parallel num_threads(P)
     {
       kernels::SpatialInvariant ks;
       kernels::TemporalInvariant kt;
-#pragma omp for schedule(dynamic)
+#pragma omp for schedule(dynamic) reduction(+ : cells, span, nz)
       for (std::int64_t v = 0; v < nsub; ++v) {
         util::Timer task_timer;
         const Extent3 sub = dec.subdomain(v);
@@ -59,15 +60,22 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
              bins.bins[static_cast<std::size_t>(v)]) {
           // Full invariant tables are rebuilt for each (point, subdomain)
           // pair; only the accumulation is clipped to the subdomain.
-          detail::scatter_sym(res.grid, sub, s.map, k,
-                              pts[static_cast<std::size_t>(idx)], p.hs, p.ht,
-                              s.Hs, s.Ht, s.scale, ks, kt);
+          if (detail::scatter_sym(res.grid, sub, s.map, k,
+                                  pts[static_cast<std::size_t>(idx)], p.hs,
+                                  p.ht, s.Hs, s.Ht, s.scale, ks, kt)) {
+            cells += ks.cells();
+            span += ks.span_cells();
+            nz += ks.nonzero();
+          }
         }
         res.diag.task_seconds[static_cast<std::size_t>(v)] =
             task_timer.seconds();
       }
     }
   });
+  res.diag.table_cells = cells;
+  res.diag.span_cells = span;
+  res.diag.table_nonzero = nz;
   return res;
 }
 

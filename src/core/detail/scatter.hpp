@@ -11,6 +11,23 @@
 ///   scatter_disk   — PB-DISK:  ks hoisted into a table, kt per voxel
 ///   scatter_bar    — PB-BAR:   kt hoisted into a table, ks per voxel
 ///   scatter_sym    — PB-SYM:   both hoisted; inner loop is a pure FMA walk
+///
+/// SIMD core (docs/SCATTER_CORE.md): scatter_sym/scatter_tables and
+/// scatter_disk iterate the spatial disk's per-row nonzero Y-spans — no
+/// per-voxel `ks == 0` branch — and their T-innermost loops are
+/// restrict-qualified `#pragma omp simd` walks over a contiguous run of the
+/// grid row: a pure float FMA for scatter_tables, a branchless per-voxel
+/// kt evaluation for scatter_disk (that redundancy is PB-DISK's defining
+/// cost). scatter_bar's innermost walk is Y-strided by construction
+/// (plane-major), so its simd license mostly documents intent. Kernels are
+/// concrete template parameters (dispatched once per run by with_kernel),
+/// so k.spatial/k.temporal inline into the table fill. scatter_sym_ref
+/// retains the pre-SIMD scalar double-precision loop as the correctness and
+/// performance baseline.
+///
+/// Each scatter returns true when the clipped cylinder was non-empty (i.e.
+/// the invariant tables were recomputed), so drivers can accumulate lane
+/// statistics from the tables without reading stale values.
 
 #include <algorithm>
 #include <cstdint>
@@ -19,6 +36,12 @@
 #include "grid/dense_grid.hpp"
 #include "kernels/invariants.hpp"
 #include "kernels/kernels.hpp"
+
+#if defined(_MSC_VER)
+#define STKDE_RESTRICT __restrict
+#else
+#define STKDE_RESTRICT __restrict__
+#endif
 
 namespace stkde::core::detail {
 
@@ -32,12 +55,12 @@ inline Extent3 clipped_cylinder(const VoxelMapper& map, const Point& p,
 /// PB (Algorithm 2): evaluate both kernel factors for every voxel of the
 /// cylinder. \p scale is 1/(n hs^2 ht).
 template <kernels::SeparableKernel K, typename T>
-void scatter_direct(DenseGrid3<T>& grid, const Extent3& clip,
+bool scatter_direct(DenseGrid3<T>& grid, const Extent3& clip,
                     const VoxelMapper& map, const K& k, const Point& p,
                     double hs, double ht, std::int32_t Hs, std::int32_t Ht,
                     double scale) {
   const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
-  if (e.empty()) return;
+  if (e.empty()) return false;
   const double inv_hs = 1.0 / hs, inv_ht = 1.0 / ht;
   const std::int32_t len = e.nt();
   for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
@@ -55,34 +78,39 @@ void scatter_direct(DenseGrid3<T>& grid, const Extent3& clip,
       }
     }
   }
+  return true;
 }
 
 /// PB-DISK: the spatial invariant is computed once into \p ks_tab; the
-/// temporal factor is still evaluated per voxel.
+/// temporal factor is still evaluated per voxel. The Y loop walks the
+/// disk's nonzero span for each row instead of testing `ks == 0`.
 template <kernels::SeparableKernel K, typename T>
-void scatter_disk(DenseGrid3<T>& grid, const Extent3& clip,
+bool scatter_disk(DenseGrid3<T>& grid, const Extent3& clip,
                   const VoxelMapper& map, const K& k, const Point& p,
                   double hs, double ht, std::int32_t Hs, std::int32_t Ht,
                   double scale, kernels::SpatialInvariant& ks_tab) {
   const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
-  if (e.empty()) return;
+  if (e.empty()) return false;
   ks_tab.compute(k, map, p, hs, Hs, scale);
   const double inv_ht = 1.0 / ht;
   const std::int32_t len = e.nt();
   for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
-    const double* const ks_row = ks_tab.row(X) + (e.ylo - ks_tab.y_lo());
-    for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
-      const double ks = ks_row[Y - e.ylo];
-      if (ks == 0.0) continue;
-      T* const row = grid.row(X, Y) + (e.tlo - grid.extent().tlo);
+    const std::int32_t ys = std::max(e.ylo, ks_tab.y_span_lo(X));
+    const std::int32_t ye = std::min(e.yhi, ks_tab.y_span_hi(X));
+    const float* const ks_row = ks_tab.row(X);
+    for (std::int32_t Y = ys; Y < ye; ++Y) {
+      const float ks = ks_row[Y - ks_tab.y_lo()];
+      T* STKDE_RESTRICT const row = grid.row(X, Y) + (e.tlo - grid.extent().tlo);
+      // Branchless: kt is 0 outside the temporal support, and adding 0
+      // is exact (the grid never holds -0 — kernel values are >= 0).
+#pragma omp simd
       for (std::int32_t i = 0; i < len; ++i) {
         const double w = (map.t_of(e.tlo + i) - p.t) * inv_ht;
-        const double kt = k.temporal(w);
-        if (kt == 0.0) continue;
-        row[i] += static_cast<T>(ks * kt);
+        row[i] += static_cast<T>(ks * k.temporal(w));
       }
     }
   }
+  return true;
 }
 
 /// PB-BAR: the temporal invariant is computed once into \p kt_tab; the
@@ -90,63 +118,98 @@ void scatter_disk(DenseGrid3<T>& grid, const Extent3& clip,
 /// hoists only the temporal symmetry, which is why the paper reports it
 /// giving "a more modest time reduction" than PB-DISK, Table 3).
 template <kernels::SeparableKernel K, typename T>
-void scatter_bar(DenseGrid3<T>& grid, const Extent3& clip,
+bool scatter_bar(DenseGrid3<T>& grid, const Extent3& clip,
                  const VoxelMapper& map, const K& k, const Point& p, double hs,
                  double ht, std::int32_t Hs, std::int32_t Ht, double scale,
                  kernels::TemporalInvariant& kt_tab) {
   const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
-  if (e.empty()) return;
+  if (e.empty()) return false;
   kt_tab.compute(k, map, p, ht, Ht);
   const double inv_hs = 1.0 / hs;
   // Plane-major: for each time plane, stamp the spatial disk. The disk is
   // genuinely recomputed per plane — PB-BAR keeps that redundancy, PB-DISK
   // and PB-SYM remove it.
   for (std::int32_t Tt = e.tlo; Tt < e.thi; ++Tt) {
-    const double kt = kt_tab.at(Tt) * scale;
+    const double kt = static_cast<double>(kt_tab.at(Tt)) * scale;
     if (kt == 0.0) continue;
     for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
       const double u = (map.x_of(X) - p.x) * inv_hs;
-      T* const plane = grid.row(X, e.ylo) + (Tt - grid.extent().tlo);
+      T* STKDE_RESTRICT const plane = grid.row(X, e.ylo) + (Tt - grid.extent().tlo);
       const std::int64_t ystride = grid.extent().nt();
+      // Branchless as in scatter_disk; the walk is Y-strided (plane-major),
+      // so vectorization needs gather/scatter and the pragma is advisory.
+#pragma omp simd
       for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
         const double v = (map.y_of(Y) - p.y) * inv_hs;
-        const double ks = k.spatial(u, v);
-        if (ks == 0.0) continue;
         plane[static_cast<std::int64_t>(Y - e.ylo) * ystride] +=
-            static_cast<T>(ks * kt);
+            static_cast<T>(k.spatial(u, v) * kt);
       }
     }
   }
-}
-
-template <typename T>
-void scatter_tables(DenseGrid3<T>& grid, const Extent3& e,
-                    const kernels::SpatialInvariant& ks_tab,
-                    const kernels::TemporalInvariant& kt_tab);
-
-/// PB-SYM (Algorithm 3): both invariants hoisted; the T-innermost loop is a
-/// contiguous multiply-add over the temporal table.
-template <kernels::SeparableKernel K, typename T>
-void scatter_sym(DenseGrid3<T>& grid, const Extent3& clip,
-                 const VoxelMapper& map, const K& k, const Point& p, double hs,
-                 double ht, std::int32_t Hs, std::int32_t Ht, double scale,
-                 kernels::SpatialInvariant& ks_tab,
-                 kernels::TemporalInvariant& kt_tab) {
-  const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
-  if (e.empty()) return;
-  ks_tab.compute(k, map, p, hs, Hs, scale);
-  kt_tab.compute(k, map, p, ht, Ht);
-  scatter_tables(grid, e, ks_tab, kt_tab);
+  return true;
 }
 
 /// The accumulation half of scatter_sym, reusable when the invariant tables
 /// are already filled (PB-SYM-DD recomputes tables per subdomain but then
 /// accumulates over the clipped extent with this same loop).
+///
+/// The hot loop of the whole library: for each (X, Y) inside the disk span,
+/// a contiguous float FMA walk over the T-run. restrict qualifiers tell the
+/// compiler the grid row and the temporal table cannot alias, and
+/// `omp simd` licenses vectorization across the T lanes.
 template <typename T>
 void scatter_tables(DenseGrid3<T>& grid, const Extent3& e,
                     const kernels::SpatialInvariant& ks_tab,
                     const kernels::TemporalInvariant& kt_tab) {
   if (e.empty()) return;
+  const float* STKDE_RESTRICT const kt_row =
+      kt_tab.data() + (e.tlo - kt_tab.t_lo());
+  const std::int32_t len = e.nt();
+  const std::int64_t t_off = e.tlo - grid.extent().tlo;
+  for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
+    const std::int32_t ys = std::max(e.ylo, ks_tab.y_span_lo(X));
+    const std::int32_t ye = std::min(e.yhi, ks_tab.y_span_hi(X));
+    const float* const ks_row = ks_tab.row(X);
+    for (std::int32_t Y = ys; Y < ye; ++Y) {
+      const float ks = ks_row[Y - ks_tab.y_lo()];
+      T* STKDE_RESTRICT const row = grid.row(X, Y) + t_off;
+#pragma omp simd
+      for (std::int32_t i = 0; i < len; ++i)
+        row[i] += static_cast<T>(ks * kt_row[i]);
+    }
+  }
+}
+
+/// PB-SYM (Algorithm 3): both invariants hoisted; the T-innermost loop is a
+/// contiguous multiply-add over the temporal table.
+template <kernels::SeparableKernel K, typename T>
+bool scatter_sym(DenseGrid3<T>& grid, const Extent3& clip,
+                 const VoxelMapper& map, const K& k, const Point& p, double hs,
+                 double ht, std::int32_t Hs, std::int32_t Ht, double scale,
+                 kernels::SpatialInvariant& ks_tab,
+                 kernels::TemporalInvariant& kt_tab) {
+  const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
+  if (e.empty()) return false;
+  ks_tab.compute(k, map, p, hs, Hs, scale);
+  kt_tab.compute(k, map, p, ht, Ht);
+  scatter_tables(grid, e, ks_tab, kt_tab);
+  return true;
+}
+
+/// Retained scalar reference (the pre-SIMD scatter_sym): double-precision
+/// zero-filled tables, per-voxel `ks == 0` branch, scalar accumulation.
+/// core_equivalence_test pins the SIMD core to this at 1e-5 relative error;
+/// bench_scatter_core measures the speedup against it.
+template <kernels::SeparableKernel K, typename T>
+bool scatter_sym_ref(DenseGrid3<T>& grid, const Extent3& clip,
+                     const VoxelMapper& map, const K& k, const Point& p,
+                     double hs, double ht, std::int32_t Hs, std::int32_t Ht,
+                     double scale, kernels::SpatialInvariantRef& ks_tab,
+                     kernels::TemporalInvariantRef& kt_tab) {
+  const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
+  if (e.empty()) return false;
+  ks_tab.compute(k, map, p, hs, Hs, scale);
+  kt_tab.compute(k, map, p, ht, Ht);
   const double* const kt_row = kt_tab.data() + (e.tlo - kt_tab.t_lo());
   const std::int32_t len = e.nt();
   for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
@@ -159,6 +222,7 @@ void scatter_tables(DenseGrid3<T>& grid, const Extent3& e,
         row[i] += static_cast<T>(ks * kt_row[i]);
     }
   }
+  return true;
 }
 
 }  // namespace stkde::core::detail

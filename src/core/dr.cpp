@@ -45,8 +45,9 @@ Result run_pb_sym_dr(const PointSet& pts, const DomainSpec& dom,
     util::ScopedPhase compute(res.phases, phase::kCompute);
     const Extent3 whole = Extent3::whole(d);
     const auto n = static_cast<std::int64_t>(pts.size());
+    std::int64_t cells = 0, span = 0, nz = 0;
     detail::with_kernel(p.kernel, [&](const auto& k) {
-#pragma omp parallel num_threads(P)
+#pragma omp parallel num_threads(P) reduction(+ : cells, span, nz)
       {
         const int id = omp_get_thread_num();
         DenseGrid3<float>& local = replicas[static_cast<std::size_t>(id)];
@@ -56,11 +57,18 @@ Result run_pb_sym_dr(const PointSet& pts, const DomainSpec& dom,
         const std::int64_t lo = std::min<std::int64_t>(n, id * chunk);
         const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
         for (std::int64_t i = lo; i < hi; ++i)
-          detail::scatter_sym(local, whole, s.map, k,
-                              pts[static_cast<std::size_t>(i)], p.hs, p.ht,
-                              s.Hs, s.Ht, s.scale, ks, kt);
+          if (detail::scatter_sym(local, whole, s.map, k,
+                                  pts[static_cast<std::size_t>(i)], p.hs, p.ht,
+                                  s.Hs, s.Ht, s.scale, ks, kt)) {
+            cells += ks.cells();
+            span += ks.span_cells();
+            nz += ks.nonzero();
+          }
       }
     });
+    res.diag.table_cells = cells;
+    res.diag.span_cells = span;
+    res.diag.table_nonzero = nz;
   }
 
   {

@@ -90,13 +90,14 @@ DensitySurface kde2d_pb(const PointSet& pts, const DomainSpec& dom,
       const std::int32_t x_lo = std::max<std::int32_t>(0, ks.x_lo());
       const std::int32_t x_hi =
           std::min<std::int32_t>(out.nx, ks.x_lo() + ks.side());
-      const std::int32_t y_lo = std::max<std::int32_t>(0, ks.y_lo());
-      const std::int32_t y_hi =
-          std::min<std::int32_t>(out.ny, ks.y_lo() + ks.side());
       for (std::int32_t X = x_lo; X < x_hi; ++X) {
-        const double* row = ks.row(X) + (y_lo - ks.y_lo());
+        // Walk the disk's nonzero Y-span of this row, clipped to the surface.
+        const std::int32_t y_lo = std::max<std::int32_t>(0, ks.y_span_lo(X));
+        const std::int32_t y_hi =
+            std::min<std::int32_t>(out.ny, ks.y_span_hi(X));
+        const float* row = ks.row(X);
         for (std::int32_t Y = y_lo; Y < y_hi; ++Y)
-          out.at(X, Y) += static_cast<float>(row[Y - y_lo]);
+          out.at(X, Y) += row[Y - ks.y_lo()];
       }
     }
   });

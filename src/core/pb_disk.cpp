@@ -24,8 +24,12 @@ Result run_pb_disk(const PointSet& pts, const DomainSpec& dom,
   detail::with_kernel(p.kernel, [&](const auto& k) {
     kernels::SpatialInvariant ks;
     for (const Point& pt : pts)
-      detail::scatter_disk(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
-                           s.Ht, s.scale, ks);
+      if (detail::scatter_disk(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
+                               s.Ht, s.scale, ks)) {
+        res.diag.table_cells += ks.cells();
+        res.diag.span_cells += ks.span_cells();
+        res.diag.table_nonzero += ks.nonzero();
+      }
   });
   return res;
 }

@@ -25,8 +25,12 @@ Result run_pb_sym(const PointSet& pts, const DomainSpec& dom, const Params& p) {
     kernels::SpatialInvariant ks;
     kernels::TemporalInvariant kt;
     for (const Point& pt : pts)
-      detail::scatter_sym(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
-                          s.Ht, s.scale, ks, kt);
+      if (detail::scatter_sym(res.grid, whole, s.map, k, pt, p.hs, p.ht, s.Hs,
+                              s.Ht, s.scale, ks, kt)) {
+        res.diag.table_cells += ks.cells();
+        res.diag.span_cells += ks.span_cells();
+        res.diag.table_nonzero += ks.nonzero();
+      }
   });
   return res;
 }

@@ -65,23 +65,32 @@ Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
               for (std::int32_t c = cbase; c < dec.c(); c += 2)
                 set.push_back(dec.flat(a, b, c));
           const auto nset = static_cast<std::int64_t>(set.size());
+          std::int64_t cells = 0, span = 0, nz = 0;
 #pragma omp parallel num_threads(P)
           {
             kernels::SpatialInvariant ks;
             kernels::TemporalInvariant kt;
-#pragma omp for schedule(dynamic)
+#pragma omp for schedule(dynamic) reduction(+ : cells, span, nz)
             for (std::int64_t i = 0; i < nset; ++i) {
               util::Timer task_timer;
               const std::int64_t v = set[static_cast<std::size_t>(i)];
               for (const std::uint32_t idx :
                    bins.bins[static_cast<std::size_t>(v)])
-                detail::scatter_sym(res.grid, whole, s.map, k,
-                                    pts[static_cast<std::size_t>(idx)], p.hs,
-                                    p.ht, s.Hs, s.Ht, s.scale, ks, kt);
+                if (detail::scatter_sym(res.grid, whole, s.map, k,
+                                        pts[static_cast<std::size_t>(idx)],
+                                        p.hs, p.ht, s.Hs, s.Ht, s.scale, ks,
+                                        kt)) {
+                  cells += ks.cells();
+                  span += ks.span_cells();
+                  nz += ks.nonzero();
+                }
               res.diag.task_seconds[static_cast<std::size_t>(v)] =
                   task_timer.seconds();
             }
           }
+          res.diag.table_cells += cells;
+          res.diag.span_cells += span;
+          res.diag.table_nonzero += nz;
         }
       }
     }

@@ -33,6 +33,30 @@ struct Diagnostics {
   double load_imbalance = 1.0;      ///< max/mean of per-task loads
   std::uint64_t extra_bytes = 0;    ///< replica/buffer memory beyond the grid
 
+  /// Scatter-core lane statistics (docs/SCATTER_CORE.md), summed over every
+  /// spatial-invariant table the run filled (DD/PD refills per (point,
+  /// subdomain) pair, so these also expose replication overhead, Fig. 9):
+  std::int64_t table_cells = 0;    ///< (2Hs+1)^2 cells filled, all tables
+  std::int64_t span_cells = 0;     ///< cells covered by per-row Y-spans
+  std::int64_t table_nonzero = 0;  ///< cells strictly inside the disk
+
+  /// Fraction of full-square table cells the span layout never touches
+  /// (~1-π/4 for a centered disk); 0 when no tables were filled.
+  [[nodiscard]] double skipped_lane_fraction() const {
+    return table_cells > 0
+               ? 1.0 - static_cast<double>(span_cells) /
+                           static_cast<double>(table_cells)
+               : 0.0;
+  }
+  /// Fraction of span-covered lanes that still multiply a zero (wasted
+  /// FMAs); 0 for convex kernel supports, where spans are exact.
+  [[nodiscard]] double wasted_lane_fraction() const {
+    return span_cells > 0
+               ? 1.0 - static_cast<double>(table_nonzero) /
+                           static_cast<double>(span_cells)
+               : 0.0;
+  }
+
   /// Measured per-task compute seconds (PD/DD family; indexed by flat
   /// subdomain id, or by expanded task id for REP). Feeds the speedup
   /// simulator in the bench harness.

@@ -30,7 +30,9 @@ void DenseGrid3<T>::fill_parallel(T v, int threads) {
 template <typename T>
 double DenseGrid3<T>::sum() const {
   double s = 0.0;
-  for (std::int64_t i = 0; i < size_; ++i) s += static_cast<double>(data_[i]);
+  const T* const p = data_.get();
+#pragma omp simd reduction(+ : s)
+  for (std::int64_t i = 0; i < size_; ++i) s += static_cast<double>(p[i]);
   return s;
 }
 
@@ -39,16 +41,22 @@ double DenseGrid3<T>::max_abs_diff(const DenseGrid3& other) const {
   if (!(ext_ == other.ext_))
     throw std::invalid_argument("max_abs_diff: extent mismatch");
   double m = 0.0;
+  const T* const a = data_.get();
+  const T* const b = other.data_.get();
+#pragma omp simd reduction(max : m)
   for (std::int64_t i = 0; i < size_; ++i)
-    m = std::max(m, std::abs(static_cast<double>(data_[i]) -
-                             static_cast<double>(other.data_[i])));
+    m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                             static_cast<double>(b[i])));
   return m;
 }
 
 template <typename T>
 T DenseGrid3<T>::max_value() const {
-  T m = size_ > 0 ? data_[0] : T{};
-  for (std::int64_t i = 1; i < size_; ++i) m = std::max(m, data_[i]);
+  if (size_ == 0) return T{};
+  T m = data_[0];
+  const T* const p = data_.get();
+#pragma omp simd reduction(max : m)
+  for (std::int64_t i = 1; i < size_; ++i) m = std::max(m, p[i]);
   return m;
 }
 

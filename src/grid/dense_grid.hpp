@@ -12,7 +12,10 @@
 ///
 /// Allocation is uninitialized; fill() performs the (timed) initialization
 /// pass — the paper measures memory initialization as its own phase and
-/// shows it dominating sparse instances (Fig. 7).
+/// shows it dominating sparse instances (Fig. 7). The base allocation is
+/// 64-byte aligned (util::kSimdAlign); individual (X, Y) rows are aligned
+/// only when nt * sizeof(T) is a multiple of 64, so the SIMD scatter core
+/// uses unaligned vector accesses.
 
 #include <cstdint>
 #include <memory>
@@ -48,7 +51,7 @@ class DenseGrid3 {
     stride_y_ = ext.nt();
     stride_x_ = static_cast<std::int64_t>(ext.ny()) * ext.nt();
     size_ = ext.volume();
-    data_ = std::unique_ptr<T[]>(new T[static_cast<std::size_t>(size_)]);
+    data_ = util::allocate_aligned<T>(static_cast<std::size_t>(size_));
   }
 
   [[nodiscard]] bool allocated() const { return data_ != nullptr; }
@@ -104,7 +107,7 @@ class DenseGrid3 {
   [[nodiscard]] T max_value() const;
 
  private:
-  std::unique_ptr<T[]> data_;
+  util::AlignedArray<T> data_;
   Extent3 ext_{};
   std::int64_t stride_x_ = 0;
   std::int64_t stride_y_ = 0;

@@ -1,8 +1,8 @@
 #include "kernels/invariants.hpp"
 
 // The invariant tables are fully templated over the kernel type; all logic
-// lives in the header. This translation unit exists so the module has a
-// stable home in the library archive and a place for future non-template
-// helpers (e.g. SIMD-specialized table fills).
+// lives in the header so k.spatial/k.temporal inline into the table fill.
+// This translation unit exists so the module has a stable home in the
+// library archive and a place for future non-template helpers.
 
 namespace stkde::kernels {}

@@ -6,10 +6,39 @@
 /// that *before* allocating and fail with a typed error instead of crashing).
 
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace stkde::util {
+
+/// Alignment of every hot accumulation buffer (grid rows, invariant tables):
+/// one cache line, which also satisfies any AVX-512 aligned-load requirement.
+inline constexpr std::size_t kSimdAlign = 64;
+
+template <typename T>
+struct AlignedDeleter {
+  void operator()(T* p) const noexcept {
+    ::operator delete[](static_cast<void*>(p), std::align_val_t{kSimdAlign});
+  }
+};
+
+/// Owning pointer to a kSimdAlign-aligned, *uninitialized* array.
+template <typename T>
+using AlignedArray = std::unique_ptr<T[], AlignedDeleter<T>>;
+
+/// Allocate \p n elements aligned to kSimdAlign. The memory is raw — callers
+/// must write every element before reading it (all users fill the buffer as
+/// their first pass, which is why the old zero-fill was pure waste).
+template <typename T>
+[[nodiscard]] AlignedArray<T> allocate_aligned(std::size_t n) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedArray skips destructors");
+  return AlignedArray<T>(static_cast<T*>(
+      ::operator new[](n * sizeof(T), std::align_val_t{kSimdAlign})));
+}
 
 /// Thrown when an algorithm's predicted allocation exceeds the budget.
 /// The benches catch this and print "OOM" like the paper's figures do.

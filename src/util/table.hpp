@@ -33,6 +33,14 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return cells_.size(); }
 
+  /// Structured access for machine-readable exports (bench --json).
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& cells() const {
+    return cells_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> cells_;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "util/rng.hpp"
 
 namespace stkde::kernels {
@@ -27,7 +30,8 @@ TEST(SpatialInvariant, TableMatchesDirectEvaluation) {
     for (std::int32_t Y = tab.y_lo(); Y < tab.y_lo() + tab.side(); ++Y) {
       const double u = (map.x_of(X) - p.x) / hs;
       const double v = (map.y_of(Y) - p.y) / hs;
-      EXPECT_NEAR(tab.at(X, Y), k.spatial(u, v) * scale, 1e-12);
+      // Tables store float (evaluated in double, rounded once).
+      EXPECT_NEAR(tab.at(X, Y), k.spatial(u, v) * scale, 1e-9);
     }
   }
 }
@@ -39,9 +43,9 @@ TEST(SpatialInvariant, RowPointerAgreesWithAt) {
   SpatialInvariant tab;
   tab.compute(k, map, Point{10, 10, 10}, 3.0, 3, 1.0);
   for (std::int32_t X = tab.x_lo(); X < tab.x_lo() + tab.side(); ++X) {
-    const double* row = tab.row(X);
+    const float* row = tab.row(X);
     for (std::int32_t j = 0; j < tab.side(); ++j)
-      EXPECT_DOUBLE_EQ(row[j], tab.at(X, tab.y_lo() + j));
+      EXPECT_EQ(row[j], tab.at(X, tab.y_lo() + j));
   }
 }
 
@@ -86,7 +90,7 @@ TEST(TemporalInvariant, TableMatchesDirectEvaluation) {
   EXPECT_EQ(tab.t_lo(), c.t - Ht);
   for (std::int32_t T = tab.t_lo(); T < tab.t_lo() + tab.len(); ++T) {
     const double w = (map.t_of(T) - p.t) / ht;
-    EXPECT_NEAR(tab.at(T), k.temporal(w), 1e-12);
+    EXPECT_NEAR(tab.at(T), k.temporal(w), 1e-7);
   }
 }
 
@@ -136,9 +140,125 @@ TEST(Invariants, ProductReconstructsFullKernel) {
           const double direct =
               k.spatial((map.x_of(X) - p.x) / hs, (map.y_of(Y) - p.y) / hs) *
               k.temporal((map.t_of(T) - p.t) / ht);
-          ASSERT_NEAR(ks.at(X, Y) * kt.at(T), direct, 1e-15);
+          // Float tables: one rounding per factor, so ~2 ulp relative error.
+          ASSERT_NEAR(static_cast<double>(ks.at(X, Y)) * kt.at(T), direct,
+                      1e-6 * std::max(1.0, direct));
         }
   }
+}
+
+// --- SIMD-core invariants: span layout, alignment, reallocation churn -------
+
+TEST(SpatialInvariant, SpansBracketNonzeroEntriesExactly) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  util::Xoshiro256 rng(11);
+  SpatialInvariant tab;
+  for (int iter = 0; iter < 25; ++iter) {
+    const Point p{rng.uniform(2.0, 30.0), rng.uniform(2.0, 30.0),
+                  rng.uniform(2.0, 30.0)};
+    const double hs = rng.uniform(1.0, 6.0);
+    const auto Hs = d.spatial_bandwidth_voxels(hs);
+    tab.compute(EpanechnikovKernel{}, map, p, hs, Hs, 1.0);
+    std::int64_t nz_in_spans = 0;
+    for (std::int32_t X = tab.x_lo(); X < tab.x_lo() + tab.side(); ++X) {
+      const std::int32_t lo = tab.y_span_lo(X), hi = tab.y_span_hi(X);
+      ASSERT_LE(tab.y_lo(), lo);
+      ASSERT_LE(lo, hi);
+      ASSERT_LE(hi, tab.y_lo() + tab.side());
+      for (std::int32_t Y = tab.y_lo(); Y < tab.y_lo() + tab.side(); ++Y) {
+        if (Y < lo || Y >= hi) {
+          ASSERT_EQ(tab.at(X, Y), 0.0f)
+              << "nonzero entry outside span at (" << X << ", " << Y << ")";
+        } else if (tab.at(X, Y) != 0.0f) {
+          ++nz_in_spans;
+        }
+      }
+      if (lo < hi) {
+        // Spans are tight: both endpoints hold nonzero values.
+        EXPECT_NE(tab.at(X, lo), 0.0f);
+        EXPECT_NE(tab.at(X, hi - 1), 0.0f);
+      }
+    }
+    EXPECT_EQ(nz_in_spans, tab.nonzero());
+    EXPECT_GE(tab.span_cells(), tab.nonzero());
+    EXPECT_LE(tab.span_cells(), tab.cells());
+  }
+}
+
+TEST(SpatialInvariant, TablesAre64ByteAligned) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  SpatialInvariant ks;
+  TemporalInvariant kt;
+  ks.compute(EpanechnikovKernel{}, map, Point{10, 10, 10}, 3.0, 3, 1.0);
+  kt.compute(EpanechnikovKernel{}, map, Point{10, 10, 10}, 3.0, 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ks.data()) % util::kSimdAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(kt.data()) % util::kSimdAlign, 0u);
+}
+
+// Regression for the reallocation churn the SIMD refactor removed: compute()
+// with an unchanged bandwidth must reuse the same backing storage (the old
+// assign()-based implementation reallocated and zero-filled per point).
+TEST(SpatialInvariant, ComputeDoesNotReallocateAtFixedBandwidth) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  SpatialInvariant tab;
+  tab.compute(k, map, Point{5, 5, 5}, 4.0, 4, 1.0);
+  const float* stable = tab.data();
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.uniform(1.0, 31.0), rng.uniform(1.0, 31.0),
+                  rng.uniform(1.0, 31.0)};
+    tab.compute(k, map, p, 4.0, 4, 0.5);
+    ASSERT_EQ(tab.data(), stable) << "reallocated at unchanged Hs, point " << i;
+  }
+  // Shrinking keeps capacity too — only growth may reallocate.
+  tab.compute(k, map, Point{8, 8, 8}, 2.0, 2, 1.0);
+  EXPECT_EQ(tab.data(), stable);
+}
+
+TEST(TemporalInvariant, ComputeDoesNotReallocateAtFixedBandwidth) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const QuarticKernel k;
+  TemporalInvariant tab;
+  tab.compute(k, map, Point{5, 5, 5}, 5.0, 5);
+  const float* stable = tab.data();
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    tab.compute(k, map, Point{1, 1, rng.uniform(1.0, 31.0)}, 5.0, 5);
+    ASSERT_EQ(tab.data(), stable) << "reallocated at unchanged Ht, point " << i;
+  }
+  tab.compute(k, map, Point{2, 2, 16.0}, 2.0, 2);
+  EXPECT_EQ(tab.data(), stable);
+}
+
+// The retained scalar-reference tables must agree with the float tables to
+// float precision — they are the baseline the SIMD core is verified against.
+TEST(Invariants, ReferenceTablesMatchFloatTables) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const TriangularKernel k;
+  const Point p{14.2, 9.8, 21.4};
+  SpatialInvariant ks;
+  SpatialInvariantRef ks_ref;
+  ks.compute(k, map, p, 5.0, 5, 0.125);
+  ks_ref.compute(k, map, p, 5.0, 5, 0.125);
+  ASSERT_EQ(ks.x_lo(), ks_ref.x_lo());
+  ASSERT_EQ(ks.side(), ks_ref.side());
+  for (std::int32_t X = ks.x_lo(); X < ks.x_lo() + ks.side(); ++X)
+    for (std::int32_t j = 0; j < ks.side(); ++j)
+      EXPECT_NEAR(ks.row(X)[j], ks_ref.row(X)[j],
+                  1e-6 * std::max(1.0, std::abs(ks_ref.row(X)[j])));
+  TemporalInvariant kt;
+  TemporalInvariantRef kt_ref;
+  kt.compute(k, map, p, 4.0, 4);
+  kt_ref.compute(k, map, p, 4.0, 4);
+  ASSERT_EQ(kt.len(), kt_ref.len());
+  for (std::int32_t j = 0; j < kt.len(); ++j)
+    EXPECT_NEAR(kt.data()[j], kt_ref.data()[j], 1e-7);
 }
 
 }  // namespace
