@@ -1,76 +1,452 @@
 #include "core/incremental.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
+#include "grid/reduction.hpp"
+#include "partition/binning.hpp"
+#include "sched/thread_pool.hpp"
 
 namespace stkde::core {
 
-IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
-                                           const Params& params)
-    : dom_(dom),
-      params_(params),
-      map_(dom),
-      Hs_(dom.spatial_bandwidth_voxels(params.hs)),
-      Ht_(dom.temporal_bandwidth_voxels(params.ht)) {
-  params_.validate();
-  raw_.allocate(map_.dims());
-  raw_.fill(0.0f);
+namespace {
+
+DecompRequest spatial_tiles(DecompRequest req) {
+  // The window slides over time; splitting the temporal axis would only put
+  // tile boundaries inside every event's temporal support.
+  req.c = 1;
+  return req;
 }
 
-void IncrementalEstimator::scatter(const PointSet& batch, double sign) {
-  const Extent3 whole = Extent3::whole(map_.dims());
+double resolve_bucket_width(const StreamConfig& cfg, const Params& p) {
+  return cfg.bucket_width > 0.0 ? cfg.bucket_width : p.ht;
+}
+
+}  // namespace
+
+IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
+                                           const Params& params)
+    : IncrementalEstimator(dom, params, StreamConfig{}) {}
+
+IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
+                                           const Params& params,
+                                           const StreamConfig& cfg)
+    : dom_(dom),
+      params_(params),
+      cfg_(cfg),
+      map_(dom),
+      Hs_(dom.spatial_bandwidth_voxels(params.hs)),
+      Ht_(dom.temporal_bandwidth_voxels(params.ht)),
+      bucket_w_(resolve_bucket_width(cfg, params)),
+      dec_(Decomposition::clamped(map_.dims(), spatial_tiles(cfg.tiles), Hs_,
+                                  Ht_)) {
+  params_.validate();
+  if (!(bucket_w_ > 0.0))
+    throw std::invalid_argument("StreamConfig: bucket_width must be > 0");
+  raw_.allocate(map_.dims());
+  raw_.fill(0.0f);
+  if (cfg_.threads > 1)
+    pool_ = std::make_unique<sched::ThreadPool>(cfg_.threads);
+}
+
+IncrementalEstimator::~IncrementalEstimator() = default;
+
+// ---------------------------------------------------------------------------
+// Scatter engine
+
+void IncrementalEstimator::apply(const PointSet& batch, double sign) {
+  if (batch.empty()) return;
+  mark_dirty(batch);
   // Raw scale: 1/(hs^2 ht); the 1/n factor is applied on read.
-  const double scale = sign / (params_.hs * params_.hs * params_.ht);
+  const double scale = sign * base_scale();
+  if (pool_)
+    apply_sharded(batch, scale);
+  else
+    apply_serial(batch, scale);
+}
+
+void IncrementalEstimator::mark_dirty(const PointSet& batch) {
+  Extent3 box{};  // empty; hull() treats it as identity
+  for (const Point& p : batch)
+    box = box.hull(Extent3::cylinder(map_.voxel_of(p), Hs_, Ht_));
+  dirty_cur_ = dirty_cur_.hull(box.intersect(Extent3::whole(map_.dims())));
+}
+
+void IncrementalEstimator::apply_serial(const PointSet& batch, double scale) {
+  const Extent3 whole = Extent3::whole(map_.dims());
   detail::with_kernel(params_.kernel, [&](const auto& k) {
     kernels::SpatialInvariant ks;
     kernels::TemporalInvariant kt;
     for (const Point& p : batch)
-      detail::scatter_sym(raw_, whole, map_, k, p, params_.hs, params_.ht,
-                          Hs_, Ht_, scale, ks, kt);
+      detail::scatter_sym(raw_, whole, map_, k, p, params_.hs, params_.ht, Hs_,
+                          Ht_, scale, ks, kt);
   });
 }
 
-void IncrementalEstimator::add(const PointSet& batch) {
-  scatter(batch, +1.0);
-  window_.insert(window_.end(), batch.begin(), batch.end());
+void IncrementalEstimator::apply_sharded(const PointSet& batch, double scale) {
+  const PointBins bins = bin_by_owner(batch, map_, dec_);
+  const Extent3 whole = Extent3::whole(map_.dims());
+  const auto P = static_cast<std::size_t>(cfg_.threads);
+  // Auto threshold: split any tile holding more than half a worker's fair
+  // share. The halo init+fold-back overhead is a few point-equivalents, so
+  // splitting is cheap relative to the imbalance it removes; the floor
+  // keeps near-empty tiles whole.
+  const std::size_t rep_threshold =
+      cfg_.replicate_threshold != 0
+          ? cfg_.replicate_threshold
+          : std::max<std::size_t>(32, batch.size() / (2 * P));
+  const std::int64_t nsub = dec_.count();
+
+  detail::with_kernel(params_.kernel, [&](const auto& k) {
+    auto scatter_range = [&](DensityGrid& target, const Extent3& clip,
+                             const std::vector<std::uint32_t>& idxs,
+                             std::size_t lo, std::size_t hi) {
+      kernels::SpatialInvariant ks;
+      kernels::TemporalInvariant kt;
+      for (std::size_t i = lo; i < hi; ++i)
+        detail::scatter_sym(target, clip, map_, k, batch[idxs[i]], params_.hs,
+                            params_.ht, Hs_, Ht_, scale, ks, kt);
+    };
+
+    // PD-REP pre-wave: hotspot tiles (clustered feeds concentrate a batch
+    // in few tiles) are split across replica tasks writing private halo
+    // buffers. Replica tasks are dependency-free, so all parities run at
+    // once; the fold-back inherits the tile's parity slot below.
+    std::vector<std::vector<DensityGrid>> buffers(
+        static_cast<std::size_t>(nsub));
+    std::vector<Extent3> halo(static_cast<std::size_t>(nsub));
+    // Unwind guard: if anything throws between submits (a task error
+    // rethrown by wait_idle, bad_alloc queuing a task, ...), queued workers
+    // may still be scattering into buffers/halo/bins — drain them before
+    // those stack objects are destroyed. The guard's own wait must not
+    // throw; the original exception is the one that propagates.
+    struct DrainGuard {
+      sched::ThreadPool* pool;
+      ~DrainGuard() {
+        try {
+          pool->wait_idle();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+      }
+    } drain{pool_.get()};
+    bool any_replicas = false;
+    for (std::int64_t v = 0; v < nsub; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      const auto& idxs = bins.bins[sv];
+      const std::size_t r = std::min<std::size_t>(
+          P, (idxs.size() + rep_threshold - 1) / rep_threshold);
+      if (r < 2) continue;
+      halo[sv] = dec_.subdomain(v).expanded(Hs_, Ht_).intersect(whole);
+      buffers[sv].resize(r);
+      const std::size_t chunk = (idxs.size() + r - 1) / r;
+      for (std::size_t rep = 0; rep < r; ++rep) {
+        const std::size_t lo = std::min(idxs.size(), rep * chunk);
+        const std::size_t hi = std::min(idxs.size(), lo + chunk);
+        pool_->submit([&, sv, rep, lo, hi] {
+          DensityGrid& buf = buffers[sv][rep];
+          buf.allocate(halo[sv]);
+          buf.fill(0.0f);
+          scatter_range(buf, halo[sv], bins.bins[sv], lo, hi);
+        });
+        ++stats_.replica_tasks;
+      }
+      any_replicas = true;
+    }
+    if (any_replicas) pool_->wait_idle();
+
+    // Four parity waves (PD rule): tiles are >= 2Hs wide, so same-parity
+    // tiles' cylinders — and the halo accumulations, whose footprint is the
+    // same tile +/- Hs — never overlap. The temporal axis has one part, so
+    // there is no temporal conflict to phase over.
+    for (int wave = 0; wave < 4; ++wave) {
+      bool submitted = false;
+      for (std::int64_t v = 0; v < nsub; ++v) {
+        std::int32_t a = 0, b = 0, c = 0;
+        dec_.coords(v, a, b, c);
+        if (((a & 1) * 2 + (b & 1)) != wave) continue;
+        const auto sv = static_cast<std::size_t>(v);
+        if (!buffers[sv].empty()) {
+          pool_->submit([&, sv] {
+            for (const auto& buf : buffers[sv]) accumulate_buffer(raw_, buf);
+            buffers[sv].clear();  // free the halo memory promptly
+          });
+          submitted = true;
+        } else if (!bins.bins[sv].empty()) {
+          pool_->submit([&, sv] {
+            scatter_range(raw_, whole, bins.bins[sv], 0, bins.bins[sv].size());
+          });
+          submitted = true;
+        }
+      }
+      if (submitted) pool_->wait_idle();
+    }
+  });
 }
 
-void IncrementalEstimator::remove(const PointSet& batch) {
-  scatter(batch, -1.0);
-  for (const Point& p : batch) {
-    const auto it = std::find(window_.begin(), window_.end(), p);
-    if (it != window_.end()) window_.erase(it);
+// ---------------------------------------------------------------------------
+// Time-bucketed retirement index
+
+std::int64_t IncrementalEstimator::bucket_key(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / bucket_w_));
+}
+
+void IncrementalEstimator::index_add(const Point& p) {
+  buckets_[bucket_key(p.t)].push_back(p);
+  ++live_;
+}
+
+bool IncrementalEstimator::index_remove(const Point& p) {
+  const auto it = buckets_.find(bucket_key(p.t));
+  if (it == buckets_.end()) return false;
+  PointSet& vec = it->second;
+  const auto pos = std::find(vec.begin(), vec.end(), p);
+  if (pos == vec.end()) return false;
+  *pos = vec.back();  // order within a bucket is irrelevant
+  vec.pop_back();
+  if (vec.empty()) buckets_.erase(it);
+  --live_;
+  return true;
+}
+
+void IncrementalEstimator::collect_expired(double cutoff, PointSet& out) {
+  // Only buckets up to the cutoff's own bucket can hold expired events; the
+  // map is key-ordered, so the scan touches Theta(expired) entries plus the
+  // boundary bucket — independent of arrival order and window size.
+  const std::int64_t cut_key = bucket_key(cutoff);
+  auto it = buckets_.begin();
+  while (it != buckets_.end() && it->first <= cut_key) {
+    PointSet& vec = it->second;
+    auto keep = vec.begin();
+    for (const Point& p : vec) {
+      if (p.t < cutoff)
+        out.push_back(p);
+      else
+        *keep++ = p;
+    }
+    live_ -= static_cast<std::size_t>(vec.end() - keep);
+    vec.erase(keep, vec.end());
+    if (vec.empty())
+      it = buckets_.erase(it);
+    else
+      ++it;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming operations
+
+void IncrementalEstimator::add(const PointSet& batch) {
+  try {
+    apply(batch, +1.0);
+  } catch (...) {
+    recover_staging();  // batch not yet indexed: discarded
+    throw;
+  }
+  for (const Point& p : batch) index_add(p);
+  stats_.added += batch.size();
+  ++stats_.batches;
+  publish();
+}
+
+std::size_t IncrementalEstimator::remove(const PointSet& batch) {
+  PointSet found;
+  found.reserve(batch.size());
+  for (const Point& p : batch) {
+    if (index_remove(p))
+      found.push_back(p);
+    else
+      ++stats_.remove_misses;
+  }
+  // The removals are committed in the index at this point; on a scatter
+  // failure the recovery rebuild keeps the grid consistent with them.
+  stats_.removed += found.size();
+  ++stats_.batches;
+  try {
+    retire_scatter(found);
+  } catch (...) {
+    recover_staging();
+    throw;
+  }
+  publish();
+  return found.size();
 }
 
 std::size_t IncrementalEstimator::advance_window(const PointSet& incoming,
                                                  double cutoff) {
-  add(incoming);
-  PointSet expired;
-  while (!window_.empty() && window_.front().t < cutoff) {
-    expired.push_back(window_.front());
-    window_.pop_front();
+  // Events already past the cutoff must never enter the grid: under the old
+  // arrival-order deque they were added and could never be popped, biasing
+  // the density permanently.
+  PointSet fresh;
+  fresh.reserve(incoming.size());
+  std::size_t dead = 0;
+  for (const Point& p : incoming) {
+    if (p.t < cutoff)
+      ++dead;
+    else
+      fresh.push_back(p);
   }
-  scatter(expired, -1.0);
-  return expired.size();
+  stats_.dead_on_arrival += dead;
+  try {
+    apply(fresh, +1.0);
+  } catch (...) {
+    recover_staging();  // fresh not yet indexed: discarded
+    throw;
+  }
+  for (const Point& p : fresh) index_add(p);
+  stats_.added += fresh.size();
+
+  PointSet expired;
+  collect_expired(cutoff, expired);
+  stats_.retired += expired.size();
+  ++stats_.batches;
+  try {
+    retire_scatter(expired);
+  } catch (...) {
+    recover_staging();
+    throw;
+  }
+  publish();
+  return expired.size() + dead;
+}
+
+void IncrementalEstimator::checkpoint() {
+  try {
+    rebuild_from_index();
+  } catch (...) {
+    recover_staging();
+    throw;
+  }
+  publish();
+}
+
+void IncrementalEstimator::retire_scatter(const PointSet& gone) {
+  retired_since_checkpoint_ += gone.size();
+  if (cfg_.checkpoint_retires > 0 &&
+      retired_since_checkpoint_ >= cfg_.checkpoint_retires) {
+    // A checkpoint is due anyway: the rebuild starts from a zeroed grid, so
+    // scattering `gone` negatively first would be pure wasted work.
+    rebuild_from_index();
+    return;
+  }
+  apply(gone, -1.0);
+}
+
+void IncrementalEstimator::rebuild(bool serial_only) {
+  raw_.fill(0.0f);
+  PointSet live;
+  live.reserve(live_);
+  for (const auto& [key, vec] : buckets_)
+    live.insert(live.end(), vec.begin(), vec.end());
+  // Dispatch directly (not via apply()): the whole grid is dirty after the
+  // fill, so apply()'s per-point mark_dirty hull would be discarded work.
+  if (!live.empty()) {
+    if (serial_only || !pool_)
+      apply_serial(live, base_scale());
+    else
+      apply_sharded(live, base_scale());
+  }
+  dirty_cur_ = Extent3::whole(map_.dims());  // fill(0) touched everything
+  retired_since_checkpoint_ = 0;
+}
+
+void IncrementalEstimator::rebuild_from_index() {
+  rebuild(/*serial_only=*/false);
+  ++stats_.checkpoints;
+}
+
+void IncrementalEstimator::recover_staging() {
+  rebuild(/*serial_only=*/true);
+  ++stats_.recoveries;
+}
+
+// ---------------------------------------------------------------------------
+// Publication (double-buffered reader snapshots)
+
+void IncrementalEstimator::BufferPool::put(std::unique_ptr<Published> b) {
+  std::lock_guard lk(mu);
+  // A small cap: steady state alternates two buffers; slow readers may
+  // briefly push a third.
+  if (free.size() < 4) free.push_back(std::move(b));
+}
+
+std::unique_ptr<IncrementalEstimator::Published>
+IncrementalEstimator::BufferPool::take() {
+  std::lock_guard lk(mu);
+  if (free.empty()) return nullptr;
+  auto b = std::move(free.back());
+  free.pop_back();
+  return b;
+}
+
+void IncrementalEstimator::publish() {
+  ++publish_seq_;
+  dirty_history_.emplace_back(publish_seq_, dirty_cur_);
+  constexpr std::size_t kDirtyHistory = 16;
+  if (dirty_history_.size() > kDirtyHistory) dirty_history_.pop_front();
+
+  std::unique_ptr<Published> next = snap_pool_->take();
+  if (next) {
+    // The history covers the buffer's gap iff it reaches back to the first
+    // publish after the buffer's own; refresh the hull of those boxes.
+    if (!dirty_history_.empty() && dirty_history_.front().first <= next->seq + 1) {
+      Extent3 refresh{};
+      for (const auto& [seq, box] : dirty_history_)
+        if (seq > next->seq) refresh = refresh.hull(box);
+      next->raw.copy_region(raw_, refresh);
+    } else {
+      next->raw.copy_from(raw_);
+    }
+  } else {
+    next = std::make_unique<Published>();
+    next->raw.copy_from(raw_);
+  }
+  next->n = live_;
+  next->seq = publish_seq_;
+  dirty_cur_ = Extent3{};
+
+  // Hand the buffer to readers through a deleter that returns it to the
+  // (shared, mutex-guarded) pool when the last reference drops — the only
+  // reuse protocol whose happens-before the writer can rely on.
+  std::shared_ptr<const Published> sp(
+      next.release(), [pool = snap_pool_](const Published* p) {
+        pool->put(std::unique_ptr<Published>(const_cast<Published*>(p)));
+      });
+  std::shared_ptr<const Published> old;
+  {
+    std::lock_guard lk(pub_mu_);
+    old = std::exchange(front_, std::move(sp));
+  }
+  // `old` drops here, outside pub_mu_ (its deleter takes the pool mutex).
+  live_published_.store(live_, std::memory_order_release);
+  ++stats_.publishes;
+}
+
+std::shared_ptr<const IncrementalEstimator::Published>
+IncrementalEstimator::front() const {
+  std::lock_guard lk(pub_mu_);
+  return front_;
 }
 
 DensityGrid IncrementalEstimator::snapshot() const {
   DensityGrid out(raw_.extent());
-  const auto n = static_cast<double>(window_.size());
-  const float inv_n = n > 0.0 ? static_cast<float>(1.0 / n) : 0.0f;
-  const float* src = raw_.data();
-  float* dst = out.data();
-  for (std::int64_t i = 0; i < raw_.size(); ++i) dst[i] = src[i] * inv_n;
+  const auto pub = front();
+  if (!pub || pub->n == 0) {
+    out.fill(0.0f);
+    return out;
+  }
+  out.assign_scaled(pub->raw, 1.0 / static_cast<double>(pub->n));
   return out;
 }
 
 float IncrementalEstimator::density_at(const Voxel& v) const {
-  const auto n = static_cast<double>(window_.size());
-  if (n == 0.0) return 0.0f;
-  return static_cast<float>(raw_.at(v.x, v.y, v.t) / n);
+  const auto pub = front();
+  if (!pub || pub->n == 0) return 0.0f;
+  const double inv_n = 1.0 / static_cast<double>(pub->n);
+  return static_cast<float>(static_cast<double>(pub->raw.at(v.x, v.y, v.t)) *
+                            inv_n);
 }
 
 }  // namespace stkde::core

@@ -9,8 +9,51 @@
 /// update instead of a full recompute. The estimator keeps the *raw*
 /// (unnormalized) sum; normalization by the live event count happens on
 /// read, so adds/removes don't rescale the whole grid.
+///
+/// Streaming engine (docs/STREAMING.md):
+///  - Live events are tracked in a *time-bucketed index* (buckets of
+///    StreamConfig::bucket_width time units), so advance_window() retires
+///    every event with t < cutoff regardless of arrival order — late
+///    (out-of-order) arrivals are retired when their *timestamp* expires,
+///    not when they happen to reach the front of an arrival queue — and
+///    remove() locates an event by its time bucket instead of scanning the
+///    whole window.
+///  - With StreamConfig::threads > 1, batches are ingested on a persistent
+///    sched::ThreadPool: points are binned onto spatial tiles
+///    (partition/decomposition, clamped to the 2Hs PD rule) and scattered
+///    in four parity waves (the PD strategy); overloaded hotspot tiles are
+///    split across replica tasks writing private halo buffers that a reduce
+///    task folds back (the PD-REP strategy applied to streaming).
+///  - Readers (snapshot()/density_at()/live_count()) see *published*
+///    double-buffered states: the writer mutates a private staging grid and
+///    publishes an immutable copy after each batch, so a concurrent reader
+///    never observes a half-applied batch.
+///  - Because +/- float scatter accumulates cancellation error over long
+///    streams, the engine periodically rebuilds the staging grid from the
+///    live set (a drift-control checkpoint, StreamConfig::checkpoint_retires).
+///
+/// Threading contract: one writer thread calls add()/remove()/
+/// advance_window()/checkpoint(); any number of reader threads may call
+/// snapshot()/density_at()/live_count() concurrently with the writer.
+/// raw()/stats() are writer-side views and are not synchronized.
+///
+/// Failure contract: if a sharded apply throws partway (e.g. a replica
+/// halo allocation exceeds the memory budget), the staging grid is rebuilt
+/// serially from the live index (counted in stats().recoveries) and the
+/// exception propagates. The engine stays consistent — grid, index, and
+/// stats() always agree: additions not yet recorded in the index are
+/// discarded; retirements/removals already recorded remain in effect.
+/// Readers keep the last published snapshot until the next successful
+/// operation publishes again.
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/result.hpp"
@@ -18,53 +61,186 @@
 #include "geom/point.hpp"
 #include "geom/voxel_mapper.hpp"
 #include "grid/dense_grid.hpp"
+#include "partition/decomposition.hpp"
+
+namespace stkde::sched {
+class ThreadPool;
+}
 
 namespace stkde::core {
 
+/// Streaming-engine knobs. The defaults give the single-threaded engine
+/// with retirement bucketed at the temporal bandwidth.
+struct StreamConfig {
+  /// Ingest worker threads; <= 1 runs scatter in the calling thread.
+  int threads = 1;
+
+  /// Spatial sharding request (the temporal axis is never split — the
+  /// window slides over it). Clamped to the PD 2Hs rule at construction.
+  DecompRequest tiles{8, 8, 1};
+
+  /// Retirement bucket width in time units; <= 0 uses the temporal
+  /// bandwidth ht (events within one kernel support share a bucket).
+  double bucket_width = 0.0;
+
+  /// Rebuild the grid from the live set after this many retired/removed
+  /// events (bounds +/- cancellation drift). 0 disables checkpoints.
+  std::uint64_t checkpoint_retires = std::uint64_t{1} << 20;
+
+  /// Tile point count that triggers a PD-REP replica split; 0 picks
+  /// max(32, batch/(2*threads)) per batch.
+  std::size_t replicate_threshold = 0;
+};
+
+/// Writer-side counters (diagnostics for benches and dashboards).
+struct StreamStats {
+  std::uint64_t batches = 0;          ///< add/remove/advance calls
+  std::uint64_t added = 0;            ///< events scattered with + sign
+  std::uint64_t retired = 0;          ///< events retired by advance_window
+  std::uint64_t dead_on_arrival = 0;  ///< incoming events already past cutoff
+  std::uint64_t removed = 0;          ///< events removed via remove()
+  std::uint64_t remove_misses = 0;    ///< remove() requests never tracked
+  std::uint64_t checkpoints = 0;      ///< drift-control full rebuilds
+  std::uint64_t recoveries = 0;       ///< rollbacks after a failed apply
+  std::uint64_t replica_tasks = 0;    ///< PD-REP replica tasks spawned
+  std::uint64_t publishes = 0;        ///< snapshot states published
+};
+
 class IncrementalEstimator {
  public:
-  /// Fixed domain and bandwidths for the stream's lifetime. Allocates and
-  /// zeroes the raw grid.
+  /// Single-threaded engine (StreamConfig defaults). Allocates and zeroes
+  /// the staging grid.
   IncrementalEstimator(const DomainSpec& dom, const Params& params);
 
-  /// Scatter new events into the raw sum. O(|batch| Hs^2 Ht).
+  /// Streaming engine with explicit sharding/threading configuration.
+  IncrementalEstimator(const DomainSpec& dom, const Params& params,
+                       const StreamConfig& cfg);
+
+  ~IncrementalEstimator();
+  IncrementalEstimator(const IncrementalEstimator&) = delete;
+  IncrementalEstimator& operator=(const IncrementalEstimator&) = delete;
+
+  /// Scatter new events into the raw sum and track them in the time index.
+  /// O(|batch| Hs^2 Ht) work, sharded across the pool when configured.
   void add(const PointSet& batch);
 
-  /// Remove previously-added events (exactly cancels their contribution up
-  /// to float rounding). The caller is responsible for passing events that
-  /// were actually added; removal of a never-added event yields a biased
-  /// (possibly negative) density.
-  void remove(const PointSet& batch);
+  /// Remove previously-added events: each requested point cancels one
+  /// tracked instance with the same coordinates (duplicates are removed
+  /// once per request). Events that were never added are ignored (counted
+  /// in stats().remove_misses) — they no longer bias the density. Returns
+  /// the number of events actually removed.
+  std::size_t remove(const PointSet& batch);
 
   /// Slide a time window: add \p incoming, then retire every tracked event
-  /// older than \p cutoff (t < cutoff). Returns the number retired.
+  /// older than \p cutoff (t < cutoff) — *regardless of arrival order*.
+  /// Incoming events already past the cutoff are never scattered (they
+  /// count as retired). Returns the number retired.
   std::size_t advance_window(const PointSet& incoming, double cutoff);
 
-  /// Number of live events.
-  [[nodiscard]] std::size_t live_count() const { return window_.size(); }
+  /// Force a drift-control rebuild of the staging grid from the live set.
+  void checkpoint();
 
-  /// Normalized density snapshot: raw / n_live (empty stream: all zeros).
+  /// Number of live events in the last published state (readable
+  /// concurrently with the writer).
+  [[nodiscard]] std::size_t live_count() const {
+    return live_published_.load(std::memory_order_acquire);
+  }
+
+  /// Normalized density snapshot of the last published state: raw / n_live
+  /// (empty stream: all zeros). Normalization divides in double before the
+  /// float store. Safe to call from reader threads.
   [[nodiscard]] DensityGrid snapshot() const;
 
-  /// Normalized density at one voxel (cheap probe for dashboards).
+  /// Normalized density at one voxel of the last published state (cheap
+  /// probe for dashboards). Safe to call from reader threads.
   [[nodiscard]] float density_at(const Voxel& v) const;
 
-  /// Raw (unnormalized) grid, 1/(hs^2 ht)-scaled kernel sums.
+  /// Raw (unnormalized) staging grid, 1/(hs^2 ht)-scaled kernel sums.
+  /// Writer-side view: not synchronized with concurrent ingestion.
   [[nodiscard]] const DensityGrid& raw() const { return raw_; }
 
   [[nodiscard]] const DomainSpec& domain() const { return dom_; }
   [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const StreamConfig& config() const { return cfg_; }
+  [[nodiscard]] const StreamStats& stats() const { return stats_; }
+
+  /// The spatial tiling used by the sharded ingest path.
+  [[nodiscard]] const Decomposition& tiling() const { return dec_; }
 
  private:
-  void scatter(const PointSet& batch, double sign);
+  /// An immutable published state; readers hold it via shared_ptr.
+  struct Published {
+    DensityGrid raw;
+    std::size_t n = 0;
+    std::uint64_t seq = 0;  ///< publish sequence this buffer holds
+  };
+
+  /// Retired publish buffers come back here through the shared_ptr deleter:
+  /// the final refcount decrement (acq_rel) plus this mutex is the
+  /// happens-before chain that makes writer reuse race-free. Shared so
+  /// snapshots handed to readers may outlive the estimator.
+  struct BufferPool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Published>> free;
+
+    void put(std::unique_ptr<Published> b);
+    [[nodiscard]] std::unique_ptr<Published> take();
+  };
+
+  /// 1/(hs^2 ht) — the raw-grid scale shared by every scatter path.
+  [[nodiscard]] double base_scale() const {
+    return 1.0 / (params_.hs * params_.hs * params_.ht);
+  }
+  void apply(const PointSet& batch, double sign);
+  void apply_serial(const PointSet& batch, double scale);
+  void apply_sharded(const PointSet& batch, double scale);
+
+  /// Grow the pending dirty box by the batch's scatter footprint.
+  void mark_dirty(const PointSet& batch);
+
+  [[nodiscard]] std::int64_t bucket_key(double t) const;
+  void index_add(const Point& p);
+  [[nodiscard]] bool index_remove(const Point& p);
+  /// Move every tracked event with t < cutoff into \p out.
+  void collect_expired(double cutoff, PointSet& out);
+
+  /// Scatter a retired/removed set negatively — unless the drift counter
+  /// says a checkpoint is due, in which case the rebuild subsumes it.
+  void retire_scatter(const PointSet& gone);
+  /// Zero the staging grid and rescatter the live index (serial_only:
+  /// no pool, no allocations — the exception-recovery path).
+  void rebuild(bool serial_only);
+  void rebuild_from_index();
+  void recover_staging();
+  void publish();
+  [[nodiscard]] std::shared_ptr<const Published> front() const;
 
   DomainSpec dom_;
   Params params_;
+  StreamConfig cfg_;
   VoxelMapper map_;
   std::int32_t Hs_;
   std::int32_t Ht_;
-  DensityGrid raw_;
-  std::deque<Point> window_;  ///< live events in arrival order
+  double bucket_w_;
+  Decomposition dec_;
+  std::unique_ptr<sched::ThreadPool> pool_;  ///< null when threads <= 1
+
+  DensityGrid raw_;  ///< writer-private staging grid
+  // Publish refreshes only what changed: a reused buffer tagged seq s needs
+  // the hull of the dirty boxes of publishes s+1..current (kept in a short
+  // history; older buffers fall back to a full copy).
+  Extent3 dirty_cur_{};  ///< staging cells touched since the last publish
+  std::uint64_t publish_seq_ = 0;
+  std::deque<std::pair<std::uint64_t, Extent3>> dirty_history_;
+  std::map<std::int64_t, PointSet> buckets_;  ///< live events by time bucket
+  std::size_t live_ = 0;
+  std::uint64_t retired_since_checkpoint_ = 0;
+  StreamStats stats_;
+
+  mutable std::mutex pub_mu_;  ///< guards the front_ pointer swap
+  std::shared_ptr<const Published> front_;  ///< last published (readers copy)
+  std::shared_ptr<BufferPool> snap_pool_ = std::make_shared<BufferPool>();
+  std::atomic<std::size_t> live_published_{0};
 };
 
 }  // namespace stkde::core

@@ -28,6 +28,44 @@ void DenseGrid3<T>::fill_parallel(T v, int threads) {
 }
 
 template <typename T>
+void DenseGrid3<T>::copy_from(const DenseGrid3& src) {
+  if (!allocated())
+    allocate(src.ext_);
+  else if (!(ext_ == src.ext_))
+    throw std::invalid_argument("copy_from: extent mismatch");
+  const T* const in = src.data_.get();
+  T* const out = data_.get();
+#pragma omp simd
+  for (std::int64_t i = 0; i < size_; ++i) out[i] = in[i];
+}
+
+template <typename T>
+void DenseGrid3<T>::assign_scaled(const DenseGrid3& src, double scale) {
+  if (!allocated())
+    allocate(src.ext_);
+  else if (!(ext_ == src.ext_))
+    throw std::invalid_argument("assign_scaled: extent mismatch");
+  const T* const in = src.data_.get();
+  T* const out = data_.get();
+#pragma omp simd
+  for (std::int64_t i = 0; i < size_; ++i)
+    out[i] = static_cast<T>(static_cast<double>(in[i]) * scale);
+}
+
+template <typename T>
+void DenseGrid3<T>::copy_region(const DenseGrid3& src, const Extent3& region) {
+  const Extent3 r = region.intersect(ext_).intersect(src.ext_);
+  if (r.empty()) return;
+  const std::int32_t len = r.nt();
+  for (std::int32_t X = r.xlo; X < r.xhi; ++X)
+    for (std::int32_t Y = r.ylo; Y < r.yhi; ++Y) {
+      const T* const in = src.row(X, Y) + (r.tlo - src.ext_.tlo);
+      T* const out = row(X, Y) + (r.tlo - ext_.tlo);
+      std::copy_n(in, len, out);
+    }
+}
+
+template <typename T>
 double DenseGrid3<T>::sum() const {
   double s = 0.0;
   const T* const p = data_.get();

@@ -97,6 +97,21 @@ class DenseGrid3 {
   /// The paper observes this phase is memory-bound (speedup ~3 at 16T).
   void fill_parallel(T v, int threads);
 
+  /// this = src. Allocates to src's extent when not yet allocated; throws
+  /// on extent mismatch otherwise. SIMD flat copy (the streaming engine's
+  /// snapshot-publish path).
+  void copy_from(const DenseGrid3& src);
+
+  /// this = src * scale, the multiply carried out in double and rounded
+  /// once to T (the snapshot normalization path: long streams must not
+  /// compound float division error). Allocation rules as copy_from.
+  void assign_scaled(const DenseGrid3& src, double scale);
+
+  /// this(region) = src(region), where region is additionally clipped to
+  /// both extents. Row-wise T-contiguous copies (the streaming engine's
+  /// incremental publish: refresh only the cells a batch touched).
+  void copy_region(const DenseGrid3& src, const Extent3& region);
+
   /// Sum of all cells (double accumulation).
   [[nodiscard]] double sum() const;
 

@@ -20,6 +20,19 @@ Extent3 Extent3::expanded(std::int32_t hs, std::int32_t ht) const {
   return Extent3{xlo - hs, xhi + hs, ylo - hs, yhi + hs, tlo - ht, thi + ht};
 }
 
+Extent3 Extent3::hull(const Extent3& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  Extent3 r;
+  r.xlo = std::min(xlo, o.xlo);
+  r.xhi = std::max(xhi, o.xhi);
+  r.ylo = std::min(ylo, o.ylo);
+  r.yhi = std::max(yhi, o.yhi);
+  r.tlo = std::min(tlo, o.tlo);
+  r.thi = std::max(thi, o.thi);
+  return r;
+}
+
 std::string Extent3::to_string() const {
   char buf[128];
   std::snprintf(buf, sizeof(buf), "[%d,%d)x[%d,%d)x[%d,%d)", xlo, xhi, ylo,

@@ -43,6 +43,9 @@ struct Extent3 {
   /// Box grown by (hs, hs, ht) voxels on each side (not clipped).
   [[nodiscard]] Extent3 expanded(std::int32_t hs, std::int32_t ht) const;
 
+  /// Smallest box containing both; an empty box is the identity.
+  [[nodiscard]] Extent3 hull(const Extent3& o) const;
+
   /// Covering the whole grid.
   static Extent3 whole(const GridDims& d) {
     return Extent3{0, d.gx, 0, d.gy, 0, d.gt};

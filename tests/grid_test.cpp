@@ -135,5 +135,63 @@ TEST(DenseGrid, DefaultConstructedIsUnallocated) {
   EXPECT_EQ(g.size(), 0);
 }
 
+TEST(Extent3, HullCoversBothAndTreatsEmptyAsIdentity) {
+  const Extent3 a{1, 3, 2, 5, 0, 4};
+  const Extent3 b{2, 6, 0, 3, 1, 2};
+  const Extent3 h = a.hull(b);
+  EXPECT_EQ(h, (Extent3{1, 6, 0, 5, 0, 4}));
+  EXPECT_EQ(Extent3{}.hull(a), a);
+  EXPECT_EQ(a.hull(Extent3{}), a);
+}
+
+TEST(DenseGrid, CopyRegionRefreshesOnlyTheBox) {
+  DenseGrid3<float> src(GridDims{6, 5, 4});
+  DenseGrid3<float> dst(GridDims{6, 5, 4});
+  src.fill(2.0f);
+  dst.fill(0.0f);
+  const Extent3 region{1, 3, 2, 4, 0, 4};
+  dst.copy_region(src, region);
+  for (std::int32_t x = 0; x < 6; ++x)
+    for (std::int32_t y = 0; y < 5; ++y)
+      for (std::int32_t tt = 0; tt < 4; ++tt)
+        EXPECT_EQ(dst.at(x, y, tt), region.contains(x, y, tt) ? 2.0f : 0.0f);
+  // Out-of-range boxes clip; empty boxes are no-ops.
+  dst.copy_region(src, Extent3{-5, 100, -5, 100, 2, 2});
+  EXPECT_EQ(dst.at(5, 4, 3), 0.0f);
+}
+
+TEST(DenseGrid, CopyFromReplicatesAndAllocates) {
+  DenseGrid3<float> src(GridDims{5, 4, 3});
+  for (std::int64_t i = 0; i < src.size(); ++i)
+    src.data()[i] = static_cast<float>(i) * 0.5f;
+  DenseGrid3<float> dst;  // unallocated: copy_from allocates to src's extent
+  dst.copy_from(src);
+  EXPECT_EQ(dst.extent(), src.extent());
+  EXPECT_DOUBLE_EQ(dst.max_abs_diff(src), 0.0);
+  // Re-copy into the now-allocated grid overwrites in place.
+  src.data()[7] = 123.0f;
+  dst.copy_from(src);
+  EXPECT_DOUBLE_EQ(dst.max_abs_diff(src), 0.0);
+  DenseGrid3<float> wrong(GridDims{2, 2, 2});
+  EXPECT_THROW(wrong.copy_from(src), std::invalid_argument);
+}
+
+TEST(DenseGrid, AssignScaledRoundsOnceThroughDouble) {
+  DenseGrid3<float> src(GridDims{3, 3, 3});
+  for (std::int64_t i = 0; i < src.size(); ++i)
+    src.data()[i] = 1.0f + static_cast<float>(i);
+  const double scale = 1.0 / 7.0;
+  DenseGrid3<float> dst;
+  dst.assign_scaled(src, scale);
+  for (std::int64_t i = 0; i < src.size(); ++i) {
+    // Exact contract: double multiply, single rounding to float.
+    const float expect = static_cast<float>(
+        static_cast<double>(src.data()[i]) * scale);
+    EXPECT_EQ(dst.data()[i], expect);
+  }
+  DenseGrid3<float> wrong(GridDims{2, 2, 2});
+  EXPECT_THROW(wrong.assign_scaled(src, scale), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace stkde

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/estimator.hpp"
 #include "helpers.hpp"
 
@@ -91,6 +94,175 @@ TEST(Incremental, SlidingWindowMatchesWindowBatch) {
   const Result full = estimate(stream, t.domain, t.params, Algorithm::kPBSym);
   EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
             5.0 * grid_tolerance(full.grid));
+}
+
+// Regression for the sliding-window retirement bias: the old engine popped
+// the arrival-order deque only while the *front* was expired, so a late
+// (out-of-order) arrival sitting behind a newer event was never retired and
+// biased the density permanently. The time-bucketed index retires by
+// timestamp, not arrival position.
+TEST(Incremental, OutOfOrderFeedFullyRetires) {
+  const auto t = make_tiny(1, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  // Deliver events with deliberately scrambled timestamps: each batch holds
+  // a *newer* event before an *older* one, so the old deque's front check
+  // stalls on the newer event and strands the late arrival behind it.
+  PointSet all;
+  for (int i = 0; i < 30; ++i) {
+    const double late = 0.5 + 0.4 * i;   // out-of-order: older than `now`
+    const double now = 8.0 + 0.2 * i;
+    const PointSet batch{Point{4.0 + i % 12, 3.0 + i % 9, now},
+                         Point{6.0 + i % 10, 5.0 + i % 7, late}};
+    all.insert(all.end(), batch.begin(), batch.end());
+    inc.advance_window(batch, 0.0);
+  }
+  ASSERT_EQ(inc.live_count(), all.size());
+  // Slide the window past every event, late arrivals included.
+  const std::size_t retired = inc.advance_window({}, 1e9);
+  EXPECT_EQ(retired, all.size());
+  EXPECT_EQ(inc.live_count(), 0u);
+  float max_abs = 0.0f;
+  for (std::int64_t i = 0; i < inc.raw().size(); ++i)
+    max_abs = std::max(max_abs, std::abs(inc.raw().data()[i]));
+  EXPECT_LE(max_abs, 1e-4f);
+  EXPECT_DOUBLE_EQ(inc.snapshot().sum(), 0.0);
+}
+
+// The second face of the same bug: an incoming event already older than the
+// cutoff was added and could never be removed. It must never be scattered.
+TEST(Incremental, DeadOnArrivalEventsNeverEnterTheGrid) {
+  const auto t = make_tiny(1, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  const PointSet stale{Point{5.0, 5.0, 1.0}, Point{7.0, 6.0, 2.0}};
+  const std::size_t retired = inc.advance_window(stale, 10.0);
+  EXPECT_EQ(retired, stale.size());
+  EXPECT_EQ(inc.live_count(), 0u);
+  EXPECT_EQ(inc.stats().dead_on_arrival, stale.size());
+  // Never scattered at all: the raw grid is still exactly zero.
+  EXPECT_EQ(inc.raw().max_value(), 0.0f);
+  EXPECT_DOUBLE_EQ(inc.raw().sum(), 0.0);
+}
+
+TEST(Incremental, RemoveTakesOneInstancePerRequest) {
+  const auto t = make_tiny(1, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  const Point p{5.0, 5.0, 4.0};
+  inc.add(PointSet{p, p, p});
+  EXPECT_EQ(inc.live_count(), 3u);
+  // Two requests remove exactly two of the three duplicates.
+  EXPECT_EQ(inc.remove(PointSet{p, p}), 2u);
+  EXPECT_EQ(inc.live_count(), 1u);
+  // The survivor still matches a one-point batch estimate.
+  const Result batch = estimate(PointSet{p}, t.domain, t.params,
+                                Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            3.0 * grid_tolerance(batch.grid));
+}
+
+TEST(Incremental, RemoveOfUntrackedEventIsANoOp) {
+  const auto t = make_tiny(80, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  const DensityGrid before = inc.snapshot();
+  // Never-added event: ignored instead of biasing the density negative.
+  EXPECT_EQ(inc.remove(PointSet{Point{1.0, 1.0, 1.0}}), 0u);
+  EXPECT_EQ(inc.stats().remove_misses, 1u);
+  EXPECT_EQ(inc.live_count(), t.points.size());
+  EXPECT_DOUBLE_EQ(inc.snapshot().max_abs_diff(before), 0.0);
+}
+
+// Sharded concurrent ingest must be numerically equivalent to the serial
+// engine: same feed, P in {1, 4}, snapshots within 1e-5 relative.
+TEST(Incremental, ShardedIngestMatchesSerial) {
+  const auto t = make_tiny(400, 3, 2);
+  PointSet stream = t.points;
+  std::sort(stream.begin(), stream.end(),
+            [](const Point& a, const Point& b) { return a.t < b.t; });
+
+  IncrementalEstimator serial(t.domain, t.params);
+  StreamConfig sharded_cfg;
+  sharded_cfg.threads = 4;
+  sharded_cfg.tiles = DecompRequest{4, 4, 1};
+  IncrementalEstimator sharded(t.domain, t.params, sharded_cfg);
+  // A third engine with a tiny replica threshold forces the PD-REP
+  // hotspot-split path on every batch.
+  StreamConfig rep_cfg = sharded_cfg;
+  rep_cfg.threads = 2;
+  rep_cfg.replicate_threshold = 4;
+  IncrementalEstimator replicated(t.domain, t.params, rep_cfg);
+
+  const double window = 6.0;
+  const std::size_t chunk = 80;
+  for (std::size_t lo = 0; lo < stream.size(); lo += chunk) {
+    const std::size_t hi = std::min(stream.size(), lo + chunk);
+    const PointSet batch(stream.begin() + lo, stream.begin() + hi);
+    const double cutoff = batch.back().t - window;
+    serial.advance_window(batch, cutoff);
+    sharded.advance_window(batch, cutoff);
+    replicated.advance_window(batch, cutoff);
+  }
+  ASSERT_EQ(sharded.live_count(), serial.live_count());
+  ASSERT_EQ(replicated.live_count(), serial.live_count());
+  EXPECT_GT(replicated.stats().replica_tasks, 0u);
+  const DensityGrid ref = serial.snapshot();
+  const double peak = static_cast<double>(ref.max_value());
+  ASSERT_GT(peak, 0.0);
+  EXPECT_LE(sharded.snapshot().max_abs_diff(ref), 1e-5 * peak);
+  EXPECT_LE(replicated.snapshot().max_abs_diff(ref), 1e-5 * peak);
+}
+
+TEST(Incremental, ShardedSingleBatchMatchesBatchEstimate) {
+  const auto t = make_tiny(150, 3, 2);
+  StreamConfig cfg;
+  cfg.threads = 4;
+  cfg.tiles = DecompRequest{4, 4, 1};
+  IncrementalEstimator inc(t.domain, t.params, cfg);
+  inc.add(t.points);
+  const Result batch = estimate(t.points, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            grid_tolerance(batch.grid));
+  EXPECT_EQ(inc.live_count(), t.points.size());
+}
+
+// Drift checkpoints: after enough +/- churn the engine rebuilds the grid
+// from the live set, so cancellation error cannot accumulate unboundedly.
+TEST(Incremental, CheckpointRebuildsAndStaysAccurate) {
+  const auto t = make_tiny(1, 3, 2);
+  StreamConfig cfg;
+  cfg.checkpoint_retires = 64;  // rebuild every ~64 retired events
+  IncrementalEstimator inc(t.domain, t.params, cfg);
+  PointSet stream;
+  for (int i = 0; i < 400; ++i)
+    stream.push_back(Point{2.0 + (i * 7) % 20, 2.0 + (i * 3) % 16, i * 0.05});
+  const double window = 4.0;
+  const std::size_t chunk = 40;
+  for (std::size_t lo = 0; lo < stream.size(); lo += chunk) {
+    const std::size_t hi = std::min(stream.size(), lo + chunk);
+    const PointSet batch(stream.begin() + lo, stream.begin() + hi);
+    inc.advance_window(batch, batch.back().t - window);
+  }
+  EXPECT_GE(inc.stats().checkpoints, 1u);
+  PointSet live;
+  const double cutoff = stream.back().t - window;
+  for (const auto& p : stream)
+    if (p.t >= cutoff) live.push_back(p);
+  ASSERT_EQ(inc.live_count(), live.size());
+  const Result batch = estimate(live, t.domain, t.params, Algorithm::kPBSym);
+  EXPECT_LE(inc.snapshot().max_abs_diff(batch.grid),
+            5.0 * grid_tolerance(batch.grid));
+}
+
+// A forced checkpoint clears accumulated cancellation residue: after full
+// retirement the raw grid returns to *exact* zeros (fill, no live events).
+TEST(Incremental, ManualCheckpointClearsResidue) {
+  const auto t = make_tiny(100, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  inc.remove(t.points);
+  inc.checkpoint();
+  EXPECT_EQ(inc.live_count(), 0u);
+  EXPECT_DOUBLE_EQ(inc.raw().sum(), 0.0);
+  EXPECT_EQ(inc.raw().max_value(), 0.0f);
 }
 
 TEST(Incremental, DensityAtMatchesSnapshot) {
