@@ -113,9 +113,20 @@ float density_quantile(const DensityGrid& grid, double q) {
     throw std::invalid_argument("density_quantile: q must be in [0, 1]");
   std::vector<float> positive;
   positive.reserve(1024);
-  const float* p = grid.data();
-  for (std::int64_t i = 0; i < grid.size(); ++i)
-    if (p[i] > 0.0f) positive.push_back(p[i]);
+  if (!grid.padded()) {
+    const float* p = grid.data();
+    for (std::int64_t i = 0; i < grid.size(); ++i)
+      if (p[i] > 0.0f) positive.push_back(p[i]);
+  } else {
+    // Padded T-rows: the flat walk would count alignment-padding cells.
+    const Extent3& e = grid.extent();
+    for (std::int32_t X = e.xlo; X < e.xhi; ++X)
+      for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
+        const float* p = grid.row(X, Y);
+        for (std::int32_t i = 0; i < e.nt(); ++i)
+          if (p[i] > 0.0f) positive.push_back(p[i]);
+      }
+  }
   if (positive.empty()) return 0.0f;
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(positive.size() - 1));

@@ -44,6 +44,12 @@ namespace stkde::core {
 [[nodiscard]] Result run_pb_sym(const PointSet& pts, const DomainSpec& dom,
                                 const Params& p);
 
+/// PB-SYM restructured for the memory hierarchy (PB-TILE,
+/// docs/SCATTER_CORE.md): Morton-sorted points, tile-major grid traversal,
+/// and a sub-voxel-offset invariant-table cache (Params::tile knobs).
+[[nodiscard]] Result run_pb_tile(const PointSet& pts, const DomainSpec& dom,
+                                 const Params& p);
+
 /// Domain replication (Algorithm 4): per-thread grid copies + reduction.
 /// Throws util::MemoryBudgetExceeded when P grid replicas exceed memory.
 [[nodiscard]] Result run_pb_sym_dr(const PointSet& pts, const DomainSpec& dom,

@@ -11,9 +11,10 @@ const std::vector<Algorithm>& all_algorithms() {
       Algorithm::kVB,          Algorithm::kVBDec,
       Algorithm::kPB,          Algorithm::kPBDisk,
       Algorithm::kPBBar,       Algorithm::kPBSym,
-      Algorithm::kPBSymDR,     Algorithm::kPBSymDD,
-      Algorithm::kPBSymPD,     Algorithm::kPBSymPDSched,
-      Algorithm::kPBSymPDRep,  Algorithm::kPBSymPDSchedRep};
+      Algorithm::kPBTile,      Algorithm::kPBSymDR,
+      Algorithm::kPBSymDD,     Algorithm::kPBSymPD,
+      Algorithm::kPBSymPDSched, Algorithm::kPBSymPDRep,
+      Algorithm::kPBSymPDSchedRep};
   return all;
 }
 
@@ -25,6 +26,7 @@ std::string to_string(Algorithm a) {
     case Algorithm::kPBDisk: return "PB-DISK";
     case Algorithm::kPBBar: return "PB-BAR";
     case Algorithm::kPBSym: return "PB-SYM";
+    case Algorithm::kPBTile: return "PB-TILE";
     case Algorithm::kPBSymDR: return "PB-SYM-DR";
     case Algorithm::kPBSymDD: return "PB-SYM-DD";
     case Algorithm::kPBSymPD: return "PB-SYM-PD";
@@ -49,6 +51,7 @@ bool is_parallel(Algorithm a) {
     case Algorithm::kPBDisk:
     case Algorithm::kPBBar:
     case Algorithm::kPBSym:
+    case Algorithm::kPBTile:
       return false;
     default:
       return true;
@@ -63,6 +66,12 @@ void Params::validate() const {
     throw std::invalid_argument("Params: decomposition parts must be >= 1");
   if (rep.max_rounds < 0 || rep.max_factor < 1)
     throw std::invalid_argument("Params: bad replication params");
+  if (tile.tile_bytes <= 0)
+    throw std::invalid_argument("Params: tile_bytes must be > 0");
+  if (tile.table_quant < 0)
+    throw std::invalid_argument("Params: table_quant must be >= 0");
+  if (tile.cache_bytes == 0)
+    throw std::invalid_argument("Params: cache_bytes must be > 0");
 }
 
 int Params::resolved_threads() const {

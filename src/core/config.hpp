@@ -2,6 +2,7 @@
 /// \file config.hpp
 /// Algorithm selection and run parameters for the STKDE estimator.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@ enum class Algorithm {
   kPBDisk,         ///< PB + hoisted spatial invariant
   kPBBar,          ///< PB + hoisted temporal invariant
   kPBSym,          ///< PB + both invariants (Alg. 3)
+  kPBTile,         ///< PB-SYM + tile-major Morton traversal + table cache
   kPBSymDR,        ///< parallel, domain replication (Alg. 4)
   kPBSymDD,        ///< parallel, domain decomposition (Alg. 5)
   kPBSymPD,        ///< parallel, point decomposition, 8 parity phases (Alg. 6)
@@ -40,6 +42,27 @@ enum class Algorithm {
 /// True for the multi-threaded strategies (the PB-SYM-* family).
 [[nodiscard]] bool is_parallel(Algorithm a);
 
+/// PB-TILE engine knobs (Algorithm::kPBTile and the streaming batch-ingest
+/// path; docs/SCATTER_CORE.md "The tile-major engine").
+struct TileParams {
+  /// Grid bytes a tile may map onto — the working set that should stay
+  /// L2-resident while its cylinders stamp.
+  std::int64_t tile_bytes = std::int64_t{1} << 20;
+
+  /// Invariant-table cache quantization: 0 keys tables on exact sub-voxel
+  /// offsets (no approximation — the verification mode, and the profitable
+  /// one for lattice-snapped data); Q > 0 bins offsets to a QxQ sub-voxel
+  /// lattice (offset error < 1/Q voxel per axis).
+  std::int32_t table_quant = 0;
+
+  /// Byte budget of the table cache (sizes its direct-mapped slot array).
+  std::uint64_t cache_bytes = std::uint64_t{8} << 20;
+
+  /// Allocate the result grid with 64-byte-padded T-rows so every SIMD row
+  /// walk starts cache-line aligned.
+  bool pad_rows = true;
+};
+
 /// Run parameters. hs/ht are in domain units; everything else has usable
 /// defaults.
 struct Params {
@@ -50,6 +73,9 @@ struct Params {
 
   /// Decomposition request for the DD/PD family (paper sweeps 1^3..64^3).
   DecompRequest decomp{8, 8, 8};
+
+  /// Tile-engine knobs for the kPBTile strategy.
+  TileParams tile{};
 
   /// Coloring order for SCHED/REP (PD-SCHED default: load descending).
   sched::ColoringOrder order = sched::ColoringOrder::kLoadDescending;

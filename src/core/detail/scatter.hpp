@@ -18,8 +18,9 @@
 /// restrict-qualified `#pragma omp simd` walks over a contiguous run of the
 /// grid row: a pure float FMA for scatter_tables, a branchless per-voxel
 /// kt evaluation for scatter_disk (that redundancy is PB-DISK's defining
-/// cost). scatter_bar's innermost walk is Y-strided by construction
-/// (plane-major), so its simd license mostly documents intent. Kernels are
+/// cost). scatter_bar is row-major with T innermost too — its per-column
+/// spatial evaluation (PB-BAR's defining cost) multiplies against the
+/// contiguous temporal-table run, so its simd license is real. Kernels are
 /// concrete template parameters (dispatched once per run by with_kernel),
 /// so k.spatial/k.temporal inline into the table fill. scatter_sym_ref
 /// retains the pre-SIMD scalar double-precision loop as the correctness and
@@ -114,9 +115,16 @@ bool scatter_disk(DenseGrid3<T>& grid, const Extent3& clip,
 }
 
 /// PB-BAR: the temporal invariant is computed once into \p kt_tab; the
-/// spatial factor is still evaluated per *voxel* (not per column — PB-BAR
-/// hoists only the temporal symmetry, which is why the paper reports it
-/// giving "a more modest time reduction" than PB-DISK, Table 3).
+/// spatial factor is *not* hoisted into a table — PB-BAR exploits only the
+/// temporal symmetry, which is why the paper reports it giving "a more
+/// modest time reduction" than PB-DISK (Table 3).
+///
+/// The walk is row-major with T innermost: each (X, Y) column multiplies a
+/// freshly evaluated k.spatial against the contiguous temporal-table run,
+/// so the simd license is real (the old plane-major form was Y-strided and
+/// could not vectorize without gather/scatter). PB-BAR's defining
+/// redundancy — the per-column spatial evaluation no table would ever
+/// repeat — is preserved; only its grid traversal changed.
 template <kernels::SeparableKernel K, typename T>
 bool scatter_bar(DenseGrid3<T>& grid, const Extent3& clip,
                  const VoxelMapper& map, const K& k, const Point& p, double hs,
@@ -126,24 +134,22 @@ bool scatter_bar(DenseGrid3<T>& grid, const Extent3& clip,
   if (e.empty()) return false;
   kt_tab.compute(k, map, p, ht, Ht);
   const double inv_hs = 1.0 / hs;
-  // Plane-major: for each time plane, stamp the spatial disk. The disk is
-  // genuinely recomputed per plane — PB-BAR keeps that redundancy, PB-DISK
-  // and PB-SYM remove it.
-  for (std::int32_t Tt = e.tlo; Tt < e.thi; ++Tt) {
-    const double kt = static_cast<double>(kt_tab.at(Tt)) * scale;
-    if (kt == 0.0) continue;
-    for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
-      const double u = (map.x_of(X) - p.x) * inv_hs;
-      T* STKDE_RESTRICT const plane = grid.row(X, e.ylo) + (Tt - grid.extent().tlo);
-      const std::int64_t ystride = grid.extent().nt();
-      // Branchless as in scatter_disk; the walk is Y-strided (plane-major),
-      // so vectorization needs gather/scatter and the pragma is advisory.
+  const float* STKDE_RESTRICT const kt_row =
+      kt_tab.data() + (e.tlo - kt_tab.t_lo());
+  const std::int32_t len = e.nt();
+  const std::int64_t t_off = e.tlo - grid.extent().tlo;
+  for (std::int32_t X = e.xlo; X < e.xhi; ++X) {
+    const double u = (map.x_of(X) - p.x) * inv_hs;
+    for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
+      const double v = (map.y_of(Y) - p.y) * inv_hs;
+      const double ks = k.spatial(u, v) * scale;
+      if (ks == 0.0) continue;
+      T* STKDE_RESTRICT const row = grid.row(X, Y) + t_off;
+      // Branchless over T: kt is 0 outside the temporal support, and
+      // adding 0 is exact (kernel values are >= 0, the grid never holds -0).
 #pragma omp simd
-      for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y) {
-        const double v = (map.y_of(Y) - p.y) * inv_hs;
-        plane[static_cast<std::int64_t>(Y - e.ylo) * ystride] +=
-            static_cast<T>(k.spatial(u, v) * kt);
-      }
+      for (std::int32_t i = 0; i < len; ++i)
+        row[i] += static_cast<T>(ks * kt_row[i]);
     }
   }
   return true;

@@ -1,0 +1,115 @@
+#pragma once
+/// \file tile_scatter.hpp
+/// The PB-TILE scatter engine (docs/SCATTER_CORE.md): tile-major,
+/// Morton-sorted batch scatter with a shared invariant-table cache.
+///
+/// PB-SYM made the per-voxel work a pure FMA; what remains on large batches
+/// is the memory hierarchy — arrival-order scatter walks the grid randomly,
+/// and every point pays a full O(Hs²) spatial-table refill. The engine
+/// attacks both:
+///  1. the grid is partitioned into L2-sized spatial tiles
+///     (partition::tile_decomposition) and walked tile by tile, every
+///     overlapping cylinder stamping its tile-clipped part while the tile
+///     is resident;
+///  2. within a tile, points are visited in Morton order
+///     (partition::tile_major_bins), so consecutive cylinders overlap;
+///  3. spatial tables are served by a SpatialTableCache keyed on sub-voxel
+///     offsets (kernels/table_cache.hpp) — a point revisited by its next
+///     tile, or any co-located point, reuses the table instead of refilling.
+///
+/// With TileEngineConfig::table_quant == 0 (the default) the cache keys on
+/// exact offsets and the engine is a pure reordering of PB-SYM's arithmetic
+/// (same tables, float accumulation order permuted). Quantized mode trades
+/// a bounded kernel-argument perturbation (< sres·√2/(Q·hs)) for hits on
+/// approximately co-located data.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/detail/scatter.hpp"
+#include "kernels/table_cache.hpp"
+#include "partition/tile_order.hpp"
+
+namespace stkde::core::detail {
+
+/// What one engine pass did (feeds Result::diag and the streaming stats).
+struct TileScatterStats {
+  std::int64_t tiles = 0;        ///< non-empty tiles visited
+  std::int64_t bin_entries = 0;  ///< (point, tile) pairs walked
+  std::int64_t lookups = 0;      ///< table-cache lookups
+  std::int64_t fills = 0;        ///< table-cache misses (tables computed)
+  std::int64_t table_cells = 0;  ///< lane stats, accumulated on fills only
+  std::int64_t span_cells = 0;
+  std::int64_t table_nonzero = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return lookups > 0
+               ? 1.0 - static_cast<double>(fills) / static_cast<double>(lookups)
+               : 0.0;
+  }
+};
+
+/// Scatter \p pts into \p grid tile-major over a prebuilt ordering.
+/// \p tiles must partition the grid and \p bins must be intersection-binned
+/// onto it (tile_major_bins with TileBinRule::kIntersection): each voxel of
+/// a cylinder belongs to exactly one tile, so the union of tile-clipped
+/// stamps equals the PB-SYM stamp. \p cfg is the caller's Params::tile;
+/// the engine reads the traversal/cache knobs (pad_rows concerns only the
+/// caller's grid allocation).
+template <kernels::SeparableKernel K, typename T>
+TileScatterStats scatter_tile_major(DenseGrid3<T>& grid, const Extent3& clip,
+                                    const VoxelMapper& map, const K& k,
+                                    const PointSet& pts, double hs, double ht,
+                                    std::int32_t Hs, std::int32_t Ht,
+                                    double scale, const Decomposition& tiles,
+                                    const PointBins& bins,
+                                    const TileParams& cfg) {
+  TileScatterStats stats;
+  kernels::SpatialTableCache cache(
+      kernels::TableCacheConfig{cfg.table_quant, cfg.cache_bytes}, Hs);
+  kernels::TemporalInvariant kt;
+  const std::int64_t nsub = tiles.count();
+  for (std::int64_t v = 0; v < nsub; ++v) {
+    const auto& bin = bins.bins[static_cast<std::size_t>(v)];
+    if (bin.empty()) continue;
+    const Extent3 tclip = tiles.subdomain(v).intersect(clip);
+    if (tclip.empty()) continue;
+    ++stats.tiles;
+    for (const std::uint32_t idx : bin) {
+      const Point& p = pts[idx];
+      const Extent3 e = clipped_cylinder(map, p, Hs, Ht, tclip);
+      if (e.empty()) continue;
+      ++stats.bin_entries;
+      const auto lk = cache.lookup(k, map, p, hs, Hs, scale);
+      if (lk.filled) {
+        stats.table_cells += lk.table.cells();
+        stats.span_cells += lk.table.span_cells();
+        stats.table_nonzero += lk.table.nonzero();
+      }
+      // The temporal table is O(Ht) to fill — not worth caching.
+      kt.compute(k, map, p, ht, Ht);
+      scatter_tables(grid, e, lk.table, kt);
+    }
+  }
+  stats.lookups = cache.lookups();
+  stats.fills = cache.fills();
+  return stats;
+}
+
+/// Convenience pass: build the tiling and the Morton-sorted intersection
+/// bins, then scatter. The streaming engine's batch ingest uses this form.
+template <kernels::SeparableKernel K, typename T>
+TileScatterStats scatter_tile_major(DenseGrid3<T>& grid, const Extent3& clip,
+                                    const VoxelMapper& map, const K& k,
+                                    const PointSet& pts, double hs, double ht,
+                                    std::int32_t Hs, std::int32_t Ht,
+                                    double scale, const TileParams& cfg) {
+  const Decomposition tiles =
+      tile_decomposition(map.dims(), cfg.tile_bytes, sizeof(T));
+  const PointBins bins =
+      tile_major_bins(pts, map, tiles, Hs, Ht, TileBinRule::kIntersection);
+  return scatter_tile_major(grid, clip, map, k, pts, hs, ht, Hs, Ht, scale,
+                            tiles, bins, cfg);
+}
+
+}  // namespace stkde::core::detail

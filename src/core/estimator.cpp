@@ -20,6 +20,8 @@ Result Estimator::run(const PointSet& points, const DomainSpec& dom) const {
       return core::run_pb_bar(points, dom, params_);
     case Algorithm::kPBSym:
       return core::run_pb_sym(points, dom, params_);
+    case Algorithm::kPBTile:
+      return core::run_pb_tile(points, dom, params_);
     case Algorithm::kPBSymDR:
       return core::run_pb_sym_dr(points, dom, params_);
     case Algorithm::kPBSymDD:

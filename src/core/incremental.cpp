@@ -6,8 +6,10 @@
 
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
+#include "core/detail/tile_scatter.hpp"
 #include "grid/reduction.hpp"
 #include "partition/binning.hpp"
+#include "partition/tile_order.hpp"
 #include "sched/thread_pool.hpp"
 
 namespace stkde::core {
@@ -75,9 +77,24 @@ void IncrementalEstimator::mark_dirty(const PointSet& batch) {
   dirty_cur_ = dirty_cur_.hull(box.intersect(Extent3::whole(map_.dims())));
 }
 
-void IncrementalEstimator::apply_serial(const PointSet& batch, double scale) {
+void IncrementalEstimator::apply_serial(const PointSet& batch, double scale,
+                                        bool allow_tile) {
   const Extent3 whole = Extent3::whole(map_.dims());
+  // Batches big enough to amortize the binning/sorting pass go through the
+  // PB-TILE engine; the cache keys on exact offsets by default
+  // (params_.tile), so the density is a pure reordering of the per-point
+  // scatter. Tiny deltas (single events, small removals) stay on the plain
+  // loop.
+  constexpr std::size_t kTileIngestThreshold = 64;
   detail::with_kernel(params_.kernel, [&](const auto& k) {
+    if (allow_tile && batch.size() >= kTileIngestThreshold) {
+      const detail::TileScatterStats st = detail::scatter_tile_major(
+          raw_, whole, map_, k, batch, params_.hs, params_.ht, Hs_, Ht_, scale,
+          params_.tile);
+      stats_.table_lookups += static_cast<std::uint64_t>(st.lookups);
+      stats_.table_fills += static_cast<std::uint64_t>(st.fills);
+      return;
+    }
     kernels::SpatialInvariant ks;
     kernels::TemporalInvariant kt;
     for (const Point& p : batch)
@@ -87,7 +104,11 @@ void IncrementalEstimator::apply_serial(const PointSet& batch, double scale) {
 }
 
 void IncrementalEstimator::apply_sharded(const PointSet& batch, double scale) {
-  const PointBins bins = bin_by_owner(batch, map_, dec_);
+  // Owner bins, Morton-sorted per tile: each worker walks its tile in
+  // scatter order, the same locality the PB-TILE engine gives the serial
+  // path (reusing the partition/tile_order facility).
+  PointBins bins = bin_by_owner(batch, map_, dec_);
+  sort_bins_by_scatter_key(bins, batch, map_);
   const Extent3 whole = Extent3::whole(map_.dims());
   const auto P = static_cast<std::size_t>(cfg_.threads);
   // Auto threshold: split any tile holding more than half a worker's fair
@@ -343,7 +364,9 @@ void IncrementalEstimator::rebuild(bool serial_only) {
   // Dispatch directly (not via apply()): the whole grid is dirty after the
   // fill, so apply()'s per-point mark_dirty hull would be discarded work.
   if (!live.empty()) {
-    if (serial_only || !pool_)
+    if (serial_only)
+      apply_serial(live, base_scale(), /*allow_tile=*/false);
+    else if (!pool_)
       apply_serial(live, base_scale());
     else
       apply_sharded(live, base_scale());

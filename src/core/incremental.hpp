@@ -18,12 +18,18 @@
 ///    not when they happen to reach the front of an arrival queue — and
 ///    remove() locates an event by its time bucket instead of scanning the
 ///    whole window.
+///  - Single-threaded batches of meaningful size go through the PB-TILE
+///    scatter engine (core/detail/tile_scatter.hpp): Morton-sorted,
+///    tile-major, with the sub-voxel-offset table cache — surveillance
+///    feeds are recorded at fixed resolution, so repeated offsets make the
+///    cache hit (stats().table_lookups/table_fills track it).
 ///  - With StreamConfig::threads > 1, batches are ingested on a persistent
 ///    sched::ThreadPool: points are binned onto spatial tiles
-///    (partition/decomposition, clamped to the 2Hs PD rule) and scattered
-///    in four parity waves (the PD strategy); overloaded hotspot tiles are
-///    split across replica tasks writing private halo buffers that a reduce
-///    task folds back (the PD-REP strategy applied to streaming).
+///    (partition/decomposition, clamped to the 2Hs PD rule), each tile's
+///    list Morton-sorted (partition/tile_order.hpp), and scattered in four
+///    parity waves (the PD strategy); overloaded hotspot tiles are split
+///    across replica tasks writing private halo buffers that a reduce task
+///    folds back (the PD-REP strategy applied to streaming).
 ///  - Readers (snapshot()/density_at()/live_count()) see *published*
 ///    double-buffered states: the writer mutates a private staging grid and
 ///    publishes an immutable copy after each batch, so a concurrent reader
@@ -104,6 +110,8 @@ struct StreamStats {
   std::uint64_t recoveries = 0;       ///< rollbacks after a failed apply
   std::uint64_t replica_tasks = 0;    ///< PD-REP replica tasks spawned
   std::uint64_t publishes = 0;        ///< snapshot states published
+  std::uint64_t table_lookups = 0;    ///< tile-engine table-cache probes
+  std::uint64_t table_fills = 0;      ///< probes that computed a table
 };
 
 class IncrementalEstimator {
@@ -192,7 +200,9 @@ class IncrementalEstimator {
     return 1.0 / (params_.hs * params_.hs * params_.ht);
   }
   void apply(const PointSet& batch, double sign);
-  void apply_serial(const PointSet& batch, double scale);
+  /// \p allow_tile gates the PB-TILE path: the exception-recovery rebuild
+  /// scatters with the plain per-point loop (no fresh allocations).
+  void apply_serial(const PointSet& batch, double scale, bool allow_tile = true);
   void apply_sharded(const PointSet& batch, double scale);
 
   /// Grow the pending dirty box by the batch's scatter footprint.

@@ -1,0 +1,56 @@
+#include "core/algorithms.hpp"
+#include "core/detail/common.hpp"
+#include "core/detail/tile_scatter.hpp"
+
+namespace stkde::core {
+
+// PB-TILE: PB-SYM's arithmetic reorganized for the memory hierarchy. Points
+// are binned onto L2-sized spatial tiles and Morton-sorted within each; the
+// grid is walked tile by tile so a tile's rows stay resident while every
+// overlapping cylinder stamps into it; spatial invariant tables are served
+// from a sub-voxel-offset cache instead of being refilled per point. With
+// the default exact cache this computes the identical tables PB-SYM would
+// (float accumulation order permuted); docs/SCATTER_CORE.md details the
+// quantized mode's error bound.
+Result run_pb_tile(const PointSet& pts, const DomainSpec& dom,
+                   const Params& p) {
+  p.validate();
+  const detail::RunSetup s(pts, dom, p);
+  Result res;
+  res.diag.algorithm = to_string(Algorithm::kPBTile);
+
+  {
+    util::ScopedPhase init(res.phases, phase::kInit);
+    res.grid.allocate(Extent3::whole(s.map.dims()),
+                      p.tile.pad_rows ? RowPad::kCacheLine : RowPad::kNone);
+    res.grid.fill(0.0f);
+  }
+
+  const Decomposition tiles =
+      tile_decomposition(s.map.dims(), p.tile.tile_bytes, sizeof(float));
+  PointBins bins;
+  {
+    util::ScopedPhase bin(res.phases, phase::kBin);
+    bins = tile_major_bins(pts, s.map, tiles, s.Hs, s.Ht,
+                           TileBinRule::kIntersection);
+  }
+  res.diag.decomposition = tiles.to_string();
+  res.diag.subdomains = tiles.count();
+  res.diag.replication_factor = bins.replication_factor(pts.size());
+
+  util::ScopedPhase compute(res.phases, phase::kCompute);
+  const Extent3 whole = Extent3::whole(s.map.dims());
+  detail::with_kernel(p.kernel, [&](const auto& k) {
+    const detail::TileScatterStats st = detail::scatter_tile_major(
+        res.grid, whole, s.map, k, pts, p.hs, p.ht, s.Hs, s.Ht, s.scale, tiles,
+        bins, p.tile);
+    res.diag.table_cells = st.table_cells;
+    res.diag.span_cells = st.span_cells;
+    res.diag.table_nonzero = st.table_nonzero;
+    res.diag.table_lookups = st.lookups;
+    res.diag.table_fills = st.fills;
+  });
+  return res;
+}
+
+}  // namespace stkde::core

@@ -40,6 +40,19 @@ struct Diagnostics {
   std::int64_t span_cells = 0;     ///< cells covered by per-row Y-spans
   std::int64_t table_nonzero = 0;  ///< cells strictly inside the disk
 
+  /// Invariant-table cache counters (PB-TILE and the streaming batch path;
+  /// 0/0 for strategies that fill tables directly).
+  std::int64_t table_lookups = 0;  ///< cache probes (one per point-tile stamp)
+  std::int64_t table_fills = 0;    ///< probes that had to compute a table
+
+  /// Fraction of table lookups served from the cache without a fill.
+  [[nodiscard]] double table_cache_hit_rate() const {
+    return table_lookups > 0
+               ? 1.0 - static_cast<double>(table_fills) /
+                           static_cast<double>(table_lookups)
+               : 0.0;
+  }
+
   /// Fraction of full-square table cells the span layout never touches
   /// (~1-π/4 for a centered disk); 0 when no tables were filled.
   [[nodiscard]] double skipped_lane_fraction() const {

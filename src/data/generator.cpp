@@ -118,4 +118,30 @@ PointSet generate_degenerate(const DomainSpec& spec, std::size_t n) {
   return PointSet(n, center);
 }
 
+namespace {
+double snap_axis(double v, double lo, double res, std::int32_t cells,
+                 int subdiv) {
+  const double fine = res / subdiv;
+  auto j = static_cast<std::int64_t>(std::floor((v - lo) / fine));
+  j = std::clamp<std::int64_t>(
+      j, 0, static_cast<std::int64_t>(cells) * subdiv - 1);
+  return lo + (static_cast<double>(j) + 0.5) * fine;
+}
+}  // namespace
+
+PointSet snap_to_lattice(const PointSet& points, const DomainSpec& spec,
+                         int subdiv) {
+  spec.validate();
+  if (subdiv < 1)
+    throw std::invalid_argument("snap_to_lattice: subdiv must be >= 1");
+  const GridDims g = spec.dims();
+  PointSet out;
+  out.reserve(points.size());
+  for (const Point& p : points)
+    out.push_back(Point{snap_axis(p.x, spec.x0, spec.sres, g.gx, subdiv),
+                        snap_axis(p.y, spec.y0, spec.sres, g.gy, subdiv),
+                        snap_axis(p.t, spec.t0, spec.tres, g.gt, subdiv)});
+  return out;
+}
+
 }  // namespace stkde::data

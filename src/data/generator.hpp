@@ -50,4 +50,13 @@ struct ClusterConfig {
 [[nodiscard]] PointSet generate_degenerate(const DomainSpec& spec,
                                            std::size_t n);
 
+/// Snap events to the centers of a subdiv x subdiv x subdiv sub-voxel
+/// lattice (clamped into the domain box). Real source data is recorded at
+/// fixed resolution — case days, station coordinates, atlas cells — which
+/// the continuous generators erase; snapping restores that discreteness,
+/// the regime where PB-TILE's offset-keyed table cache is exact
+/// (docs/SCATTER_CORE.md). subdiv = 1 snaps to voxel centers.
+[[nodiscard]] PointSet snap_to_lattice(const PointSet& points,
+                                       const DomainSpec& spec, int subdiv);
+
 }  // namespace stkde::data

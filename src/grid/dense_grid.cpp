@@ -7,8 +7,15 @@
 
 namespace stkde {
 
+// Reductions and copies come in two shapes: a flat SIMD walk over the whole
+// allocation when rows are packed, and a row-wise walk that skips the
+// alignment padding when they are not (padding cells are storage, not data —
+// only fill() may touch them).
+
 template <typename T>
 void DenseGrid3<T>::fill(T v) {
+  // Padding cells are filled too: they must never hold signaling garbage,
+  // and a flat fill is faster than a row-wise one.
   std::fill_n(data_.get(), static_cast<std::size_t>(size_), v);
 }
 
@@ -30,26 +37,45 @@ void DenseGrid3<T>::fill_parallel(T v, int threads) {
 template <typename T>
 void DenseGrid3<T>::copy_from(const DenseGrid3& src) {
   if (!allocated())
-    allocate(src.ext_);
+    allocate(src.ext_, src.padded() ? RowPad::kCacheLine : RowPad::kNone);
   else if (!(ext_ == src.ext_))
     throw std::invalid_argument("copy_from: extent mismatch");
-  const T* const in = src.data_.get();
-  T* const out = data_.get();
+  if (!padded() && !src.padded()) {
+    const T* const in = src.data_.get();
+    T* const out = data_.get();
 #pragma omp simd
-  for (std::int64_t i = 0; i < size_; ++i) out[i] = in[i];
+    for (std::int64_t i = 0; i < size_; ++i) out[i] = in[i];
+    return;
+  }
+  const std::int32_t len = ext_.nt();
+  for (std::int32_t X = ext_.xlo; X < ext_.xhi; ++X)
+    for (std::int32_t Y = ext_.ylo; Y < ext_.yhi; ++Y)
+      std::copy_n(src.row(X, Y), len, row(X, Y));
 }
 
 template <typename T>
 void DenseGrid3<T>::assign_scaled(const DenseGrid3& src, double scale) {
   if (!allocated())
-    allocate(src.ext_);
+    allocate(src.ext_, src.padded() ? RowPad::kCacheLine : RowPad::kNone);
   else if (!(ext_ == src.ext_))
     throw std::invalid_argument("assign_scaled: extent mismatch");
-  const T* const in = src.data_.get();
-  T* const out = data_.get();
+  if (!padded() && !src.padded()) {
+    const T* const in = src.data_.get();
+    T* const out = data_.get();
 #pragma omp simd
-  for (std::int64_t i = 0; i < size_; ++i)
-    out[i] = static_cast<T>(static_cast<double>(in[i]) * scale);
+    for (std::int64_t i = 0; i < size_; ++i)
+      out[i] = static_cast<T>(static_cast<double>(in[i]) * scale);
+    return;
+  }
+  const std::int32_t len = ext_.nt();
+  for (std::int32_t X = ext_.xlo; X < ext_.xhi; ++X)
+    for (std::int32_t Y = ext_.ylo; Y < ext_.yhi; ++Y) {
+      const T* const in = src.row(X, Y);
+      T* const out = row(X, Y);
+#pragma omp simd
+      for (std::int32_t i = 0; i < len; ++i)
+        out[i] = static_cast<T>(static_cast<double>(in[i]) * scale);
+    }
 }
 
 template <typename T>
@@ -68,9 +94,19 @@ void DenseGrid3<T>::copy_region(const DenseGrid3& src, const Extent3& region) {
 template <typename T>
 double DenseGrid3<T>::sum() const {
   double s = 0.0;
-  const T* const p = data_.get();
+  if (!padded()) {
+    const T* const p = data_.get();
 #pragma omp simd reduction(+ : s)
-  for (std::int64_t i = 0; i < size_; ++i) s += static_cast<double>(p[i]);
+    for (std::int64_t i = 0; i < size_; ++i) s += static_cast<double>(p[i]);
+    return s;
+  }
+  const std::int32_t len = ext_.nt();
+  for (std::int32_t X = ext_.xlo; X < ext_.xhi; ++X)
+    for (std::int32_t Y = ext_.ylo; Y < ext_.yhi; ++Y) {
+      const T* const p = row(X, Y);
+#pragma omp simd reduction(+ : s)
+      for (std::int32_t i = 0; i < len; ++i) s += static_cast<double>(p[i]);
+    }
   return s;
 }
 
@@ -79,22 +115,46 @@ double DenseGrid3<T>::max_abs_diff(const DenseGrid3& other) const {
   if (!(ext_ == other.ext_))
     throw std::invalid_argument("max_abs_diff: extent mismatch");
   double m = 0.0;
-  const T* const a = data_.get();
-  const T* const b = other.data_.get();
+  if (!padded() && !other.padded()) {
+    const T* const a = data_.get();
+    const T* const b = other.data_.get();
 #pragma omp simd reduction(max : m)
-  for (std::int64_t i = 0; i < size_; ++i)
-    m = std::max(m, std::abs(static_cast<double>(a[i]) -
-                             static_cast<double>(b[i])));
+    for (std::int64_t i = 0; i < size_; ++i)
+      m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                               static_cast<double>(b[i])));
+    return m;
+  }
+  const std::int32_t len = ext_.nt();
+  for (std::int32_t X = ext_.xlo; X < ext_.xhi; ++X)
+    for (std::int32_t Y = ext_.ylo; Y < ext_.yhi; ++Y) {
+      const T* const a = row(X, Y);
+      const T* const b = other.row(X, Y);
+#pragma omp simd reduction(max : m)
+      for (std::int32_t i = 0; i < len; ++i)
+        m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                                 static_cast<double>(b[i])));
+    }
   return m;
 }
 
 template <typename T>
 T DenseGrid3<T>::max_value() const {
   if (size_ == 0) return T{};
-  T m = data_[0];
-  const T* const p = data_.get();
+  if (!padded()) {
+    T m = data_[0];
+    const T* const p = data_.get();
 #pragma omp simd reduction(max : m)
-  for (std::int64_t i = 1; i < size_; ++i) m = std::max(m, p[i]);
+    for (std::int64_t i = 1; i < size_; ++i) m = std::max(m, p[i]);
+    return m;
+  }
+  T m = at(ext_.xlo, ext_.ylo, ext_.tlo);
+  const std::int32_t len = ext_.nt();
+  for (std::int32_t X = ext_.xlo; X < ext_.xhi; ++X)
+    for (std::int32_t Y = ext_.ylo; Y < ext_.yhi; ++Y) {
+      const T* const p = row(X, Y);
+#pragma omp simd reduction(max : m)
+      for (std::int32_t i = 0; i < len; ++i) m = std::max(m, p[i]);
+    }
   return m;
 }
 

@@ -13,9 +13,14 @@
 /// Allocation is uninitialized; fill() performs the (timed) initialization
 /// pass — the paper measures memory initialization as its own phase and
 /// shows it dominating sparse instances (Fig. 7). The base allocation is
-/// 64-byte aligned (util::kSimdAlign); individual (X, Y) rows are aligned
-/// only when nt * sizeof(T) is a multiple of 64, so the SIMD scatter core
-/// uses unaligned vector accesses.
+/// 64-byte aligned (util::kSimdAlign). By default rows are packed, so an
+/// individual (X, Y) row is aligned only when nt * sizeof(T) is a multiple
+/// of 64 and the SIMD scatter core uses unaligned vector accesses; an
+/// allocation with RowPad::kCacheLine instead pads the T-row stride up to
+/// the next 64-byte multiple so *every* row starts cache-line aligned
+/// (PB-TILE's result grid uses this). Padding cells are storage only —
+/// fill() initializes them, every other operation skips them, and the
+/// flat data() walk is only layout-dense when padded() is false.
 
 #include <cstdint>
 #include <memory>
@@ -26,6 +31,12 @@
 #include "util/memory.hpp"
 
 namespace stkde {
+
+/// Row-stride policy for DenseGrid3 allocations.
+enum class RowPad {
+  kNone,       ///< packed T-rows (stride == nt); data() is layout-dense
+  kCacheLine,  ///< stride rounded up so every T-row starts 64-byte aligned
+};
 
 template <typename T = float>
 class DenseGrid3 {
@@ -42,20 +53,36 @@ class DenseGrid3 {
   /// Allocate for an arbitrary extent (used for subdomain replica buffers).
   explicit DenseGrid3(const Extent3& ext) { allocate(ext); }
 
-  void allocate(const GridDims& dims) { allocate(Extent3::whole(dims)); }
+  void allocate(const GridDims& dims, RowPad pad = RowPad::kNone) {
+    allocate(Extent3::whole(dims), pad);
+  }
 
-  void allocate(const Extent3& ext) {
+  void allocate(const Extent3& ext, RowPad pad = RowPad::kNone) {
     if (ext.empty()) throw std::invalid_argument("DenseGrid3: empty extent");
-    util::MemoryBudget::instance().require(static_cast<std::uint64_t>(ext.volume()) * sizeof(T));
+    constexpr std::int64_t kLine =
+        static_cast<std::int64_t>(util::kSimdAlign / sizeof(T));
+    std::int64_t stride = ext.nt();
+    if (pad == RowPad::kCacheLine && kLine > 1)
+      stride = (stride + kLine - 1) / kLine * kLine;
+    const std::int64_t alloc =
+        static_cast<std::int64_t>(ext.nx()) * ext.ny() * stride;
+    util::MemoryBudget::instance().require(static_cast<std::uint64_t>(alloc) *
+                                           sizeof(T));
     ext_ = ext;
-    stride_y_ = ext.nt();
-    stride_x_ = static_cast<std::int64_t>(ext.ny()) * ext.nt();
-    size_ = ext.volume();
+    stride_y_ = stride;
+    stride_x_ = static_cast<std::int64_t>(ext.ny()) * stride;
+    size_ = alloc;
     data_ = util::allocate_aligned<T>(static_cast<std::size_t>(size_));
   }
 
   [[nodiscard]] bool allocated() const { return data_ != nullptr; }
+  /// Allocated elements (== extent().volume() unless padded()).
   [[nodiscard]] std::int64_t size() const { return size_; }
+  /// True when T-rows carry alignment padding (RowPad::kCacheLine and
+  /// nt not already a cache-line multiple).
+  [[nodiscard]] bool padded() const { return stride_y_ != ext_.nt(); }
+  /// Elements between consecutive (X, Y) rows (== nt() when unpadded).
+  [[nodiscard]] std::int64_t row_stride() const { return stride_y_; }
   [[nodiscard]] const Extent3& extent() const { return ext_; }
   [[nodiscard]] GridDims dims() const {
     return GridDims{ext_.nx(), ext_.ny(), ext_.nt()};

@@ -10,9 +10,19 @@ namespace stkde {
 template <typename T>
 void reduce_replicas(DenseGrid3<T>& dst,
                      const std::vector<DenseGrid3<T>>& replicas, int threads) {
-  for (const auto& r : replicas)
+  bool any_padded = dst.padded();
+  for (const auto& r : replicas) {
     if (!(r.extent() == dst.extent()))
       throw std::invalid_argument("reduce_replicas: extent mismatch");
+    any_padded = any_padded || r.padded();
+  }
+  if (any_padded) {
+    // Row-aware fallback: padded T-rows make the flat walk read alignment
+    // padding. Replica reduction is used by DR, whose replicas are packed,
+    // so this path is cold.
+    for (const auto& r : replicas) accumulate_buffer(dst, r);
+    return;
+  }
   T* const out = dst.data();
   const std::int64_t n = dst.size();
 #pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())

@@ -19,8 +19,19 @@ void save_grid(const std::string& path, const DensityGrid& grid) {
   const std::array<std::int32_t, 6> hdr = {e.xlo, e.xhi, e.ylo,
                                            e.yhi, e.tlo, e.thi};
   out.write(reinterpret_cast<const char*>(hdr.data()), sizeof(hdr));
-  out.write(reinterpret_cast<const char*>(grid.data()),
-            static_cast<std::streamsize>(grid.bytes()));
+  if (grid.padded()) {
+    // The on-disk payload is always dense: write row by row, skipping the
+    // in-memory alignment padding, so padded and packed grids round-trip to
+    // identical files.
+    const auto row_bytes =
+        static_cast<std::streamsize>(sizeof(float)) * e.nt();
+    for (std::int32_t X = e.xlo; X < e.xhi; ++X)
+      for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y)
+        out.write(reinterpret_cast<const char*>(grid.row(X, Y)), row_bytes);
+  } else {
+    out.write(reinterpret_cast<const char*>(grid.data()),
+              static_cast<std::streamsize>(grid.bytes()));
+  }
   if (!out) throw std::runtime_error("grid_io: write failed: " + path);
 }
 

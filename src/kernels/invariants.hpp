@@ -65,21 +65,51 @@ class SpatialInvariant {
         const double v = (map.y_of(y_lo_ + dy) - p.y) * inv_hs;
         row[dy] = static_cast<float>(k.spatial(u, v) * scale);
       }
-      // Pass 2 — two-ended scan for the nonzero span: only the ~(1-π/4)
-      // corner cells outside the disk are re-read.
-      std::int32_t lo = 0, hi = side_;
-      while (lo < hi && row[lo] == 0.0f) ++lo;
-      while (hi > lo && row[hi - 1] == 0.0f) --hi;
-      if (lo >= hi) lo = hi = 0;  // normalize empty rows to y_lo()
-      // Branchless count of true support cells inside the span (interior
-      // zeros are possible only for non-convex kernel supports).
-      std::int32_t nz = 0;
-      for (std::int32_t dy = lo; dy < hi; ++dy) nz += (row[dy] != 0.0f);
-      span_lo_[static_cast<std::size_t>(dx)] = lo;
-      span_hi_[static_cast<std::size_t>(dx)] = hi;
-      span_cells_ += hi - lo;
-      nonzero_ += nz;
+      scan_row_span(dx, row);
     }
+  }
+
+  /// Fill the table from the point's *fractional offset* inside its voxel
+  /// instead of its absolute position: with fx = (px - x0)/sres - cx (and
+  /// likewise fy), the normalized spatial offset of table cell (dx, dy) is
+  ///   u = ((dx - Hs) + 0.5 - fx) * sres / hs,
+  /// independent of which voxel the point sits in. This is the translation
+  /// invariance the table cache (table_cache.hpp) keys on: co-located
+  /// offsets share one table, repositioned per point via rebase(). The
+  /// origin is set to (-Hs, -Hs); call rebase() before accumulating.
+  template <SeparableKernel K>
+  void compute_offset(const K& k, double fx, double fy, double sres, double hs,
+                      std::int32_t Hs, double scale) {
+    x_lo_ = -Hs;
+    y_lo_ = -Hs;
+    side_ = 2 * Hs + 1;
+    const auto cells = static_cast<std::size_t>(side_) * side_;
+    if (cells > capacity_) {
+      values_ = util::allocate_aligned<float>(cells);
+      capacity_ = cells;
+    }
+    span_lo_.resize(static_cast<std::size_t>(side_));
+    span_hi_.resize(static_cast<std::size_t>(side_));
+    nonzero_ = 0;
+    span_cells_ = 0;
+    const double inv_hs = sres / hs;
+    for (std::int32_t dx = 0; dx < side_; ++dx) {
+      const double u = (static_cast<double>(dx - Hs) + 0.5 - fx) * inv_hs;
+      float* const row = values_.get() + static_cast<std::size_t>(dx) * side_;
+      for (std::int32_t dy = 0; dy < side_; ++dy) {
+        const double v = (static_cast<double>(dy - Hs) + 0.5 - fy) * inv_hs;
+        row[dy] = static_cast<float>(k.spatial(u, v) * scale);
+      }
+      scan_row_span(dx, row);
+    }
+  }
+
+  /// Reposition the table's origin to absolute voxel (x_lo, y_lo) without
+  /// touching the values — valid because the table contents depend only on
+  /// the point's sub-voxel offset (see compute_offset). O(1).
+  void rebase(std::int32_t x_lo, std::int32_t y_lo) {
+    x_lo_ = x_lo;
+    y_lo_ = y_lo;
   }
 
   /// First voxel row/column covered by the table (may be negative).
@@ -120,6 +150,23 @@ class SpatialInvariant {
   [[nodiscard]] const float* data() const { return values_.get(); }
 
  private:
+  /// Pass 2 of a row fill — two-ended scan for the nonzero span: only the
+  /// ~(1-π/4) corner cells outside the disk are re-read.
+  void scan_row_span(std::int32_t dx, const float* row) {
+    std::int32_t lo = 0, hi = side_;
+    while (lo < hi && row[lo] == 0.0f) ++lo;
+    while (hi > lo && row[hi - 1] == 0.0f) --hi;
+    if (lo >= hi) lo = hi = 0;  // normalize empty rows to y_lo()
+    // Branchless count of true support cells inside the span (interior
+    // zeros are possible only for non-convex kernel supports).
+    std::int32_t nz = 0;
+    for (std::int32_t dy = lo; dy < hi; ++dy) nz += (row[dy] != 0.0f);
+    span_lo_[static_cast<std::size_t>(dx)] = lo;
+    span_hi_[static_cast<std::size_t>(dx)] = hi;
+    span_cells_ += hi - lo;
+    nonzero_ += nz;
+  }
+
   util::AlignedArray<float> values_;
   std::size_t capacity_ = 0;
   std::vector<std::int32_t> span_lo_, span_hi_;  ///< relative, per table row

@@ -1,0 +1,82 @@
+#include "partition/tile_order.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stkde {
+
+namespace {
+
+/// Spread the low 16 bits of \p v so bit i lands at bit 2i.
+std::uint32_t spread_bits16(std::uint32_t v) {
+  v &= 0xffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+/// Voxel coordinates can be negative for points clamped at lo borders of
+/// expanded extents; bias into the unsigned Morton domain order-preserving.
+std::uint32_t biased16(std::int32_t c) {
+  const std::int64_t b = static_cast<std::int64_t>(c) + 0x8000;
+  if (b < 0) return 0;
+  if (b > 0xffff) return 0xffff;
+  return static_cast<std::uint32_t>(b);
+}
+
+}  // namespace
+
+std::uint32_t morton2(std::uint32_t x, std::uint32_t y) {
+  return spread_bits16(x) | (spread_bits16(y) << 1);
+}
+
+std::uint64_t scatter_order_key(const Voxel& v) {
+  const auto m = static_cast<std::uint64_t>(morton2(biased16(v.x), biased16(v.y)));
+  const auto t = static_cast<std::uint64_t>(biased16(v.t));
+  return (m << 16) | t;
+}
+
+Decomposition tile_decomposition(const GridDims& dims, std::int64_t tile_bytes,
+                                 std::size_t value_size) {
+  if (tile_bytes <= 0) tile_bytes = std::int64_t{1} << 20;
+  if (value_size == 0) value_size = sizeof(float);
+  // Grid cells a tile may map onto: tile_bytes / (Gt * value_size) spatial
+  // columns, split as close to square as the grid allows.
+  const std::int64_t column_bytes =
+      static_cast<std::int64_t>(dims.gt) * static_cast<std::int64_t>(value_size);
+  const std::int64_t columns =
+      std::max<std::int64_t>(1, tile_bytes / std::max<std::int64_t>(1, column_bytes));
+  const auto side = static_cast<std::int32_t>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(columns)))));
+  const std::int32_t a = (dims.gx + side - 1) / side;
+  const std::int32_t b = (dims.gy + side - 1) / side;
+  return Decomposition::uniform(dims, DecompRequest{a, b, 1});
+}
+
+PointBins tile_major_bins(const PointSet& points, const VoxelMapper& map,
+                          const Decomposition& tiles, std::int32_t Hs,
+                          std::int32_t Ht, TileBinRule rule) {
+  PointBins bins = rule == TileBinRule::kOwner
+                       ? bin_by_owner(points, map, tiles)
+                       : bin_by_intersection(points, map, tiles, Hs, Ht);
+  sort_bins_by_scatter_key(bins, points, map);
+  return bins;
+}
+
+void sort_bins_by_scatter_key(PointBins& bins, const PointSet& points,
+                              const VoxelMapper& map) {
+  // One key per point, shared across bins (intersection binning replicates
+  // indices, not keys).
+  std::vector<std::uint64_t> key(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    key[i] = scatter_order_key(map.voxel_of(points[i]));
+  for (auto& bin : bins.bins)
+    std::stable_sort(bin.begin(), bin.end(),
+                     [&key](std::uint32_t a, std::uint32_t b) {
+                       return key[a] < key[b];
+                     });
+}
+
+}  // namespace stkde

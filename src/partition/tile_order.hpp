@@ -1,0 +1,63 @@
+#pragma once
+/// \file tile_order.hpp
+/// Tile-major, Morton-sorted point orderings — the traversal side of the
+/// PB-TILE scatter engine (docs/SCATTER_CORE.md).
+///
+/// Batch drivers historically scattered points in arrival order, so
+/// consecutive cylinders landed in unrelated parts of the grid and every
+/// point's working set was cold. This facility generalizes the streaming
+/// engine's bin_by_owner step into a reusable ordering: points are binned
+/// onto an L2-sized spatial tiling of the grid and each tile's list is
+/// sorted by the Morton (Z-order) key of its voxel, so the engine walks the
+/// grid tile by tile and consecutive points stamp overlapping rows.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.hpp"
+#include "geom/voxel_mapper.hpp"
+#include "partition/binning.hpp"
+#include "partition/decomposition.hpp"
+
+namespace stkde {
+
+/// 32-bit Morton (Z-order) interleave of two 16-bit coordinates: bit i of x
+/// lands at bit 2i, bit i of y at bit 2i+1.
+[[nodiscard]] std::uint32_t morton2(std::uint32_t x, std::uint32_t y);
+
+/// Scatter-locality sort key of a voxel: Morton-interleaved (x, y) in the
+/// high bits — points close in Z-order stamp overlapping grid rows — with t
+/// as the tiebreak so coincident columns are visited in temporal runs.
+[[nodiscard]] std::uint64_t scatter_order_key(const Voxel& v);
+
+/// Spatial-only tiling (temporal axis unsplit, c = 1) whose tiles each map
+/// onto at most ~tile_bytes of grid storage (bx·by·Gt·value_size): the
+/// working set that should stay L2-resident while every overlapping
+/// cylinder stamps into it. tile_bytes <= 0 selects the 1 MiB default.
+[[nodiscard]] Decomposition tile_decomposition(const GridDims& dims,
+                                               std::int64_t tile_bytes,
+                                               std::size_t value_size);
+
+/// Binning rule for tile_major_bins.
+enum class TileBinRule {
+  kOwner,         ///< each point in the single tile containing its voxel
+  kIntersection,  ///< each point in every tile its cylinder overlaps
+};
+
+/// Bin points onto \p tiles under \p rule, then Morton-sort each bin.
+/// kIntersection is what the PB-TILE engine consumes: a cylinder crossing a
+/// tile boundary is stamped tile-locally by each owner, and the table cache
+/// absorbs the repeated lookups (same point, same offset key).
+[[nodiscard]] PointBins tile_major_bins(const PointSet& points,
+                                        const VoxelMapper& map,
+                                        const Decomposition& tiles,
+                                        std::int32_t Hs, std::int32_t Ht,
+                                        TileBinRule rule);
+
+/// Morton-sort every bin of an existing binning in place (the streaming
+/// engine applies this to its owner bins so each ingest task walks its tile
+/// in scatter order).
+void sort_bins_by_scatter_key(PointBins& bins, const PointSet& points,
+                              const VoxelMapper& map);
+
+}  // namespace stkde

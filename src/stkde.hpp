@@ -17,6 +17,7 @@
 #include "kernels/bandwidth.hpp"
 #include "kernels/invariants.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/table_cache.hpp"
 
 // Density grids.
 #include "grid/dense_grid.hpp"
@@ -27,6 +28,7 @@
 #include "partition/binning.hpp"
 #include "partition/decomposition.hpp"
 #include "partition/load.hpp"
+#include "partition/tile_order.hpp"
 #include "sched/coloring.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/dag_scheduler.hpp"

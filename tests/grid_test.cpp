@@ -176,6 +176,76 @@ TEST(DenseGrid, CopyFromReplicatesAndAllocates) {
   EXPECT_THROW(wrong.copy_from(src), std::invalid_argument);
 }
 
+// --- 64-byte-padded T-row stride (RowPad::kCacheLine) -----------------------
+
+TEST(DenseGrid, PaddedRowsAreCacheLineAligned) {
+  // 7 floats/row = 28 bytes: packed rows misalign every other row; padded
+  // rows round the stride to 16 floats so every row starts on a line.
+  DenseGrid3<float> g;
+  g.allocate(GridDims{5, 4, 7}, RowPad::kCacheLine);
+  EXPECT_TRUE(g.padded());
+  EXPECT_EQ(g.row_stride(), 16);
+  EXPECT_EQ(g.size(), 5LL * 4 * 16);
+  for (std::int32_t x = 0; x < 5; ++x)
+    for (std::int32_t y = 0; y < 4; ++y)
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(g.row(x, y)) %
+                    util::kSimdAlign,
+                0u)
+          << "row (" << x << ", " << y << ") misaligned";
+  // Already-aligned rows gain no padding.
+  DenseGrid3<float> aligned;
+  aligned.allocate(GridDims{3, 3, 16}, RowPad::kCacheLine);
+  EXPECT_FALSE(aligned.padded());
+  EXPECT_EQ(aligned.size(), aligned.extent().volume());
+}
+
+TEST(DenseGrid, PaddedReductionsSkipPaddingCells) {
+  DenseGrid3<float> g;
+  g.allocate(GridDims{3, 3, 5}, RowPad::kCacheLine);
+  ASSERT_TRUE(g.padded());
+  g.fill(2.5f);  // fills padding cells too — reductions must not see them
+  EXPECT_DOUBLE_EQ(g.sum(), 2.5 * 3 * 3 * 5);
+  EXPECT_FLOAT_EQ(g.max_value(), 2.5f);
+  g.fill(0.0f);
+  g.at(2, 2, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(g.max_value(), 7.0f);
+  EXPECT_DOUBLE_EQ(g.sum(), 7.0);
+}
+
+TEST(DenseGrid, PaddedAndPackedGridsInteroperate) {
+  DenseGrid3<float> packed(GridDims{4, 3, 6});
+  packed.fill(0.0f);
+  packed.at(1, 2, 3) = 4.0f;
+  DenseGrid3<float> padded;
+  padded.allocate(GridDims{4, 3, 6}, RowPad::kCacheLine);
+  ASSERT_TRUE(padded.padded());
+  padded.copy_from(packed);
+  EXPECT_DOUBLE_EQ(padded.max_abs_diff(packed), 0.0);
+  padded.at(0, 0, 0) = 1.5f;
+  EXPECT_DOUBLE_EQ(packed.max_abs_diff(padded), 1.5);
+  // assign_scaled across layouts keeps the double-multiply contract.
+  DenseGrid3<float> scaled;
+  scaled.allocate(GridDims{4, 3, 6}, RowPad::kCacheLine);
+  scaled.assign_scaled(packed, 0.5);
+  EXPECT_FLOAT_EQ(scaled.at(1, 2, 3), 2.0f);
+  EXPECT_DOUBLE_EQ(scaled.sum(), 2.0);
+  // copy_from into an unallocated grid adopts the source layout.
+  DenseGrid3<float> adopted;
+  adopted.copy_from(padded);
+  EXPECT_TRUE(adopted.padded());
+  EXPECT_DOUBLE_EQ(adopted.max_abs_diff(padded), 0.0);
+}
+
+TEST(DenseGrid, PaddedAllocationChargesTheBudgetForPadding) {
+  // 1 float/row padded to 16: the allocation is 16x the logical volume and
+  // the budget must account for it.
+  stkde::testing::ScopedMemoryBudget guard(1 << 20);  // 1 MiB
+  DenseGrid3<float> g;
+  EXPECT_NO_THROW(g.allocate(GridDims{130, 128, 1}));  // 65 KiB packed
+  EXPECT_THROW(g.allocate(GridDims{130, 128, 1}, RowPad::kCacheLine),
+               util::MemoryBudgetExceeded);  // 16x padded: over the budget
+}
+
 TEST(DenseGrid, AssignScaledRoundsOnceThroughDouble) {
   DenseGrid3<float> src(GridDims{3, 3, 3});
   for (std::int64_t i = 0; i < src.size(); ++i)

@@ -235,6 +235,42 @@ TEST(TemporalInvariant, ComputeDoesNotReallocateAtFixedBandwidth) {
   EXPECT_EQ(tab.data(), stable);
 }
 
+// compute_offset is the table-cache fill path: the same table as compute(),
+// derived from the point's sub-voxel offset alone, positioned by rebase().
+TEST(SpatialInvariant, ComputeOffsetPlusRebaseMatchesCompute) {
+  const DomainSpec d = test_domain();
+  const VoxelMapper map(d);
+  const EpanechnikovKernel k;
+  util::Xoshiro256 rng(17);
+  SpatialInvariant direct, offset;
+  for (int iter = 0; iter < 25; ++iter) {
+    const Point p{rng.uniform(1.0, 31.0), rng.uniform(1.0, 31.0),
+                  rng.uniform(1.0, 31.0)};
+    const double hs = rng.uniform(1.5, 5.0);
+    const auto Hs = d.spatial_bandwidth_voxels(hs);
+    direct.compute(k, map, p, hs, Hs, 0.25);
+    const Voxel c = map.voxel_of(p);
+    const double fx = (p.x - d.x0) / d.sres - c.x;
+    const double fy = (p.y - d.y0) / d.sres - c.y;
+    offset.compute_offset(k, fx, fy, d.sres, hs, Hs, 0.25);
+    EXPECT_EQ(offset.x_lo(), -Hs);  // origin-relative until rebased
+    offset.rebase(c.x - Hs, c.y - Hs);
+    ASSERT_EQ(offset.x_lo(), direct.x_lo());
+    ASSERT_EQ(offset.y_lo(), direct.y_lo());
+    ASSERT_EQ(offset.side(), direct.side());
+    EXPECT_EQ(offset.span_cells(), direct.span_cells());
+    EXPECT_EQ(offset.nonzero(), direct.nonzero());
+    for (std::int32_t X = direct.x_lo(); X < direct.x_lo() + direct.side(); ++X) {
+      EXPECT_EQ(offset.y_span_lo(X), direct.y_span_lo(X));
+      EXPECT_EQ(offset.y_span_hi(X), direct.y_span_hi(X));
+      for (std::int32_t j = 0; j < direct.side(); ++j)
+        EXPECT_NEAR(offset.row(X)[j], direct.row(X)[j],
+                    1e-6 * std::max(1.0, std::abs(static_cast<double>(
+                                             direct.row(X)[j]))));
+    }
+  }
+}
+
 // The retained scalar-reference tables must agree with the float tables to
 // float precision — they are the baseline the SIMD core is verified against.
 TEST(Invariants, ReferenceTablesMatchFloatTables) {

@@ -63,6 +63,25 @@ TEST(ReduceReplicas, ThreadCountDoesNotChangeResult) {
   EXPECT_DOUBLE_EQ(d1.max_abs_diff(d4), 0.0);
 }
 
+TEST(ReduceReplicas, PaddedGridsUseTheRowAwarePath) {
+  DenseGrid3<float> dst;
+  dst.allocate(GridDims{3, 3, 5}, RowPad::kCacheLine);
+  ASSERT_TRUE(dst.padded());
+  dst.fill(0.0f);
+  std::vector<DenseGrid3<float>> reps;
+  for (int i = 0; i < 2; ++i) {
+    DenseGrid3<float>& r = reps.emplace_back();
+    if (i == 0)
+      r.allocate(GridDims{3, 3, 5}, RowPad::kCacheLine);
+    else
+      r.allocate(GridDims{3, 3, 5});
+    r.fill(static_cast<float>(i + 1));
+  }
+  reduce_replicas(dst, reps, 2);
+  EXPECT_DOUBLE_EQ(dst.sum(), 3.0 * 3 * 3 * 5);
+  EXPECT_FLOAT_EQ(dst.at(2, 2, 4), 3.0f);
+}
+
 TEST(ReduceReplicas, RejectsMismatchedExtent) {
   DenseGrid3<float> dst(Extent3{0, 2, 0, 2, 0, 2});
   std::vector<DenseGrid3<float>> reps;
