@@ -58,15 +58,6 @@ double run_ingest(core::IncrementalEstimator& eng,
   return t.seconds();
 }
 
-/// LPT makespan of \p costs on P workers (greedy, costs pre-sorted inside).
-double lpt_makespan(std::vector<double> costs, int P) {
-  std::sort(costs.begin(), costs.end(), std::greater<>());
-  std::vector<double> load(static_cast<std::size_t>(std::max(1, P)), 0.0);
-  for (double c : costs)
-    *std::min_element(load.begin(), load.end()) += c;
-  return *std::max_element(load.begin(), load.end());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,8 +205,9 @@ int main(int argc, char** argv) {
                         halo_equiv[l.tile]);
         wave.push_back(static_cast<double>(r) * halo_equiv[l.tile]);
       }
-      sim_points += lpt_makespan(pre, P);
-      for (const auto& costs : waves) sim_points += lpt_makespan(costs, P);
+      sim_points += bench::lpt_makespan(pre, P);
+      for (const auto& costs : waves)
+        sim_points += bench::lpt_makespan(costs, P);
     }
     return sim_points * sec_per_point + nb * t_pub;
   };

@@ -72,6 +72,8 @@ void Params::validate() const {
     throw std::invalid_argument("Params: table_quant must be >= 0");
   if (tile.cache_bytes == 0)
     throw std::invalid_argument("Params: cache_bytes must be > 0");
+  if (tile.threads < 0)
+    throw std::invalid_argument("Params: tile.threads must be >= 0");
 }
 
 int Params::resolved_threads() const {

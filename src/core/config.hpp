@@ -42,8 +42,23 @@ enum class Algorithm {
 /// True for the multi-threaded strategies (the PB-SYM-* family).
 [[nodiscard]] bool is_parallel(Algorithm a);
 
-/// PB-TILE engine knobs (Algorithm::kPBTile and the streaming batch-ingest
-/// path; docs/SCATTER_CORE.md "The tile-major engine").
+/// Wave schedule for the parallel tile walk (docs/SCATTER_CORE.md
+/// "Parity-wave parallel tiles").
+enum class TileWaveMode {
+  kAuto,    ///< parity waves when tiles satisfy the 2Hs PD rule (re-clamping
+            ///< the tiling if that keeps enough tiles per wave), otherwise
+            ///< owner-computes halo buffers
+  kParity,  ///< force parity waves (re-clamps narrow tilings)
+  kHalo,    ///< force owner-computes halo buffers on the byte-budget tiling
+};
+
+/// Tile-engine knobs (docs/SCATTER_CORE.md "The tile-major engine").
+/// tile_bytes/pad_rows/threads/waves govern Algorithm::kPBTile and the
+/// streaming batch-ingest path; the cache knobs (table_quant, cache_bytes)
+/// additionally configure the per-worker table caches of the DD/PD family
+/// and the sharded streaming scatter — in particular, table_quant > 0 makes
+/// *all* of those strategies quantized-approximate (within the documented
+/// 1/Q offset bound), not just PB-TILE.
 struct TileParams {
   /// Grid bytes a tile may map onto — the working set that should stay
   /// L2-resident while its cylinders stamp.
@@ -61,6 +76,14 @@ struct TileParams {
   /// Allocate the result grid with 64-byte-padded T-rows so every SIMD row
   /// walk starts cache-line aligned.
   bool pad_rows = true;
+
+  /// Worker threads for the tile walk: 1 = the serial engine (default),
+  /// 0 = inherit Params::threads resolution, N > 1 = parallel waves on the
+  /// repo's sched::ThreadPool.
+  int threads = 1;
+
+  /// How the parallel walk schedules its tiles (ignored when threads == 1).
+  TileWaveMode waves = TileWaveMode::kAuto;
 };
 
 /// Run parameters. hs/ht are in domain units; everything else has usable

@@ -3,16 +3,23 @@
 #include "core/algorithms.hpp"
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
+#include "kernels/table_cache.hpp"
 #include "partition/binning.hpp"
 #include "partition/load.hpp"
+#include "partition/tile_order.hpp"
 
 namespace stkde::core {
 
 // Algorithm 5 (PB-SYM-DD): the grid is split into A x B x C subdomains;
 // each point is replicated into every subdomain its cylinder intersects,
 // and subdomains are processed independently (dynamic OpenMP schedule).
-// A point split across subdomains recomputes both invariant tables per
-// subdomain — the work overhead Fig. 9 measures.
+// Historically a point split across subdomains recomputed both invariant
+// tables per subdomain — the work overhead Fig. 9 measures. The tile
+// treatment removes most of it: bins are Morton-sorted
+// (sort_bins_by_scatter_key) so each worker walks its subdomain in scatter
+// order, and spatial tables are served from a per-worker offset-keyed
+// cache (Params::tile knobs) — a replicated point's table is filled once
+// per worker that sees its offset, not once per (point, subdomain) pair.
 Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
                      const Params& p) {
   p.validate();
@@ -30,6 +37,7 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
   {
     util::ScopedPhase bin(res.phases, phase::kBin);
     bins = bin_by_intersection(pts, s.map, dec, s.Hs, s.Ht);
+    sort_bins_by_scatter_key(bins, pts, s.map);
   }
   res.diag.replication_factor = bins.replication_factor(pts.size());
   {
@@ -47,10 +55,12 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
   const std::int64_t nsub = dec.count();
   res.diag.task_seconds.assign(static_cast<std::size_t>(nsub), 0.0);
   std::int64_t cells = 0, span = 0, nz = 0;
+  kernels::TableCachePool cache_pool(
+      kernels::TableCacheConfig{p.tile.table_quant, p.tile.cache_bytes}, s.Hs);
   detail::with_kernel(p.kernel, [&](const auto& k) {
 #pragma omp parallel num_threads(P)
     {
-      kernels::SpatialInvariant ks;
+      auto cache = cache_pool.acquire();
       kernels::TemporalInvariant kt;
 #pragma omp for schedule(dynamic) reduction(+ : cells, span, nz)
       for (std::int64_t v = 0; v < nsub; ++v) {
@@ -58,14 +68,15 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
         const Extent3 sub = dec.subdomain(v);
         for (const std::uint32_t idx :
              bins.bins[static_cast<std::size_t>(v)]) {
-          // Full invariant tables are rebuilt for each (point, subdomain)
-          // pair; only the accumulation is clipped to the subdomain.
-          if (detail::scatter_sym(res.grid, sub, s.map, k,
-                                  pts[static_cast<std::size_t>(idx)], p.hs,
-                                  p.ht, s.Hs, s.Ht, s.scale, ks, kt)) {
-            cells += ks.cells();
-            span += ks.span_cells();
-            nz += ks.nonzero();
+          // Only the accumulation is clipped to the subdomain; the cache
+          // serves the full table and rebases it onto this cylinder.
+          const detail::CachedStamp st = detail::scatter_cached(
+              res.grid, sub, s.map, k, pts[static_cast<std::size_t>(idx)],
+              p.hs, p.ht, s.Hs, s.Ht, s.scale, *cache, kt);
+          if (st.filled) {
+            cells += st.table->cells();
+            span += st.table->span_cells();
+            nz += st.table->nonzero();
           }
         }
         res.diag.task_seconds[static_cast<std::size_t>(v)] =
@@ -76,6 +87,8 @@ Result run_pb_sym_dd(const PointSet& pts, const DomainSpec& dom,
   res.diag.table_cells = cells;
   res.diag.span_cells = span;
   res.diag.table_nonzero = nz;
+  res.diag.table_lookups = cache_pool.lookups();
+  res.diag.table_fills = cache_pool.fills();
   return res;
 }
 

@@ -37,6 +37,7 @@
 #include "grid/dense_grid.hpp"
 #include "kernels/invariants.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/table_cache.hpp"
 
 #if defined(_MSC_VER)
 #define STKDE_RESTRICT __restrict
@@ -200,6 +201,41 @@ bool scatter_sym(DenseGrid3<T>& grid, const Extent3& clip,
   kt_tab.compute(k, map, p, ht, Ht);
   scatter_tables(grid, e, ks_tab, kt_tab);
   return true;
+}
+
+/// Outcome of scatter_cached. `stamped` mirrors the other scatters' bool;
+/// `filled` is true when this stamp recomputed its spatial table (a cache
+/// miss), so callers accumulate fill-side lane statistics from `table`
+/// without double counting; `table` is valid until the cache's next lookup.
+struct CachedStamp {
+  bool stamped = false;
+  bool filled = false;
+  const kernels::SpatialInvariant* table = nullptr;
+};
+
+/// Cache-served scatter_sym: the spatial table comes from \p cache (keyed
+/// on the point's sub-voxel offset, rebased onto this cylinder) instead of
+/// a per-point fill; the temporal table is recomputed as usual. This is the
+/// per-point stamp of the tile engine and of every cached parallel variant
+/// (DD/PD family, sharded streaming ingest).
+///
+/// Unlike scatter_sym, the run scale rides in the *temporal* table (it is
+/// per-point scratch) and cached spatial tables are filled unscaled — so a
+/// persistent cache stays warm across passes whose scale differs, notably
+/// the streaming engine's +scale adds alternating with -scale retirements.
+template <kernels::SeparableKernel K, typename T>
+CachedStamp scatter_cached(DenseGrid3<T>& grid, const Extent3& clip,
+                           const VoxelMapper& map, const K& k, const Point& p,
+                           double hs, double ht, std::int32_t Hs,
+                           std::int32_t Ht, double scale,
+                           kernels::SpatialTableCache& cache,
+                           kernels::TemporalInvariant& kt) {
+  const Extent3 e = clipped_cylinder(map, p, Hs, Ht, clip);
+  if (e.empty()) return {};
+  const auto lk = cache.lookup(k, map, p, hs, Hs, /*scale=*/1.0);
+  kt.compute(k, map, p, ht, Ht, scale);
+  scatter_tables(grid, e, lk.table, kt);
+  return {true, lk.filled, &lk.table};
 }
 
 /// Retained scalar reference (the pre-SIMD scatter_sym): double-precision

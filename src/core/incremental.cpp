@@ -8,6 +8,7 @@
 #include "core/detail/scatter.hpp"
 #include "core/detail/tile_scatter.hpp"
 #include "grid/reduction.hpp"
+#include "kernels/table_cache.hpp"
 #include "partition/binning.hpp"
 #include "partition/tile_order.hpp"
 #include "sched/thread_pool.hpp"
@@ -50,8 +51,13 @@ IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
     throw std::invalid_argument("StreamConfig: bucket_width must be > 0");
   raw_.allocate(map_.dims());
   raw_.fill(0.0f);
-  if (cfg_.threads > 1)
+  if (cfg_.threads > 1) {
     pool_ = std::make_unique<sched::ThreadPool>(cfg_.threads);
+    cache_pool_ = std::make_unique<kernels::TableCachePool>(
+        kernels::TableCacheConfig{params_.tile.table_quant,
+                                  params_.tile.cache_bytes},
+        Hs_);
+  }
 }
 
 IncrementalEstimator::~IncrementalEstimator() = default;
@@ -121,15 +127,23 @@ void IncrementalEstimator::apply_sharded(const PointSet& batch, double scale) {
           : std::max<std::size_t>(32, batch.size() / (2 * P));
   const std::int64_t nsub = dec_.count();
 
+  // Table-cache probes attributable to this apply (reads are safe here:
+  // workers are idle at entry and again at each wait_idle barrier).
+  const std::int64_t lookups_before = cache_pool_->lookups();
+  const std::int64_t fills_before = cache_pool_->fills();
   detail::with_kernel(params_.kernel, [&](const auto& k) {
     auto scatter_range = [&](DensityGrid& target, const Extent3& clip,
                              const std::vector<std::uint32_t>& idxs,
                              std::size_t lo, std::size_t hi) {
-      kernels::SpatialInvariant ks;
+      // Tile treatment: each task leases a warm per-worker spatial-table
+      // cache (the bins are Morton-sorted, so consecutive points share
+      // offsets and neighbourhoods).
+      auto cache = cache_pool_->acquire();
       kernels::TemporalInvariant kt;
       for (std::size_t i = lo; i < hi; ++i)
-        detail::scatter_sym(target, clip, map_, k, batch[idxs[i]], params_.hs,
-                            params_.ht, Hs_, Ht_, scale, ks, kt);
+        detail::scatter_cached(target, clip, map_, k, batch[idxs[i]],
+                               params_.hs, params_.ht, Hs_, Ht_, scale,
+                               *cache, kt);
     };
 
     // PD-REP pre-wave: hotspot tiles (clustered feeds concentrate a batch
@@ -205,6 +219,10 @@ void IncrementalEstimator::apply_sharded(const PointSet& batch, double scale) {
       if (submitted) pool_->wait_idle();
     }
   });
+  stats_.table_lookups +=
+      static_cast<std::uint64_t>(cache_pool_->lookups() - lookups_before);
+  stats_.table_fills +=
+      static_cast<std::uint64_t>(cache_pool_->fills() - fills_before);
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,10 @@ namespace stkde::sched {
 class ThreadPool;
 }
 
+namespace stkde::kernels {
+class TableCachePool;
+}
+
 namespace stkde::core {
 
 /// Streaming-engine knobs. The defaults give the single-threaded engine
@@ -234,6 +238,10 @@ class IncrementalEstimator {
   double bucket_w_;
   Decomposition dec_;
   std::unique_ptr<sched::ThreadPool> pool_;  ///< null when threads <= 1
+  /// Per-worker spatial-table caches for the sharded scatter tasks (the
+  /// tile treatment applied to streaming ingest); null when threads <= 1.
+  /// Caches persist across batches, so recorded-resolution feeds stay warm.
+  std::unique_ptr<kernels::TableCachePool> cache_pool_;
 
   DensityGrid raw_;  ///< writer-private staging grid
   // Publish refreshes only what changed: a reused buffer tagged seq s needs

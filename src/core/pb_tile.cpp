@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "core/algorithms.hpp"
 #include "core/detail/common.hpp"
 #include "core/detail/tile_scatter.hpp"
@@ -12,10 +14,17 @@ namespace stkde::core {
 // the default exact cache this computes the identical tables PB-SYM would
 // (float accumulation order permuted); docs/SCATTER_CORE.md details the
 // quantized mode's error bound.
+//
+// With tile.threads != 1 the tile walk runs in parallel under one of two
+// conflict-free schedules picked by plan_tile_schedule (parity waves over a
+// PD-safe tiling, or owner-computes halo buffers for narrow tilings); the
+// choice is recorded in Result::diag.tile_schedule.
 Result run_pb_tile(const PointSet& pts, const DomainSpec& dom,
                    const Params& p) {
   p.validate();
   const detail::RunSetup s(pts, dom, p);
+  const int P =
+      p.tile.threads == 0 ? p.resolved_threads() : std::max(1, p.tile.threads);
   Result res;
   res.diag.algorithm = to_string(Algorithm::kPBTile);
 
@@ -23,32 +32,44 @@ Result run_pb_tile(const PointSet& pts, const DomainSpec& dom,
     util::ScopedPhase init(res.phases, phase::kInit);
     res.grid.allocate(Extent3::whole(s.map.dims()),
                       p.tile.pad_rows ? RowPad::kCacheLine : RowPad::kNone);
-    res.grid.fill(0.0f);
+    res.grid.fill_parallel(0.0f, P);
   }
 
-  const Decomposition tiles =
-      tile_decomposition(s.map.dims(), p.tile.tile_bytes, sizeof(float));
+  // The scheduling decomposition budgets the grid's *allocated* row stride
+  // (padded rows carry up to 15 extra floats per T-row).
+  const detail::TilePlan plan = detail::plan_tile_schedule(
+      s.map.dims(), res.grid.row_stride(), sizeof(float), p.tile, P, s.Hs,
+      s.Ht);
   PointBins bins;
   {
     util::ScopedPhase bin(res.phases, phase::kBin);
-    bins = tile_major_bins(pts, s.map, tiles, s.Hs, s.Ht,
-                           TileBinRule::kIntersection);
+    bins = tile_major_bins(pts, s.map, plan.tiles, s.Hs, s.Ht,
+                           plan.bin_rule());
   }
-  res.diag.decomposition = tiles.to_string();
-  res.diag.subdomains = tiles.count();
+  res.diag.decomposition = plan.tiles.to_string();
+  res.diag.subdomains = plan.tiles.count();
   res.diag.replication_factor = bins.replication_factor(pts.size());
+  res.diag.tile_schedule = detail::to_string(plan.schedule);
+  res.diag.tile_threads = plan.threads;
 
   util::ScopedPhase compute(res.phases, phase::kCompute);
   const Extent3 whole = Extent3::whole(s.map.dims());
   detail::with_kernel(p.kernel, [&](const auto& k) {
-    const detail::TileScatterStats st = detail::scatter_tile_major(
-        res.grid, whole, s.map, k, pts, p.hs, p.ht, s.Hs, s.Ht, s.scale, tiles,
-        bins, p.tile);
+    const detail::TileScatterStats st =
+        plan.schedule == detail::TileSchedule::kSerial
+            ? detail::scatter_tile_major(res.grid, whole, s.map, k, pts, p.hs,
+                                         p.ht, s.Hs, s.Ht, s.scale, plan.tiles,
+                                         bins, p.tile)
+            : detail::scatter_tile_major_parallel(res.grid, whole, s.map, k,
+                                                  pts, p.hs, p.ht, s.Hs, s.Ht,
+                                                  s.scale, plan, bins, p.tile);
     res.diag.table_cells = st.table_cells;
     res.diag.span_cells = st.span_cells;
     res.diag.table_nonzero = st.table_nonzero;
     res.diag.table_lookups = st.lookups;
     res.diag.table_fills = st.fills;
+    res.diag.num_colors = static_cast<std::int32_t>(st.waves);
+    res.diag.extra_bytes = st.halo_bytes;
   });
   return res;
 }

@@ -3,8 +3,10 @@
 #include "core/algorithms.hpp"
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
+#include "kernels/table_cache.hpp"
 #include "partition/binning.hpp"
 #include "partition/load.hpp"
+#include "partition/tile_order.hpp"
 #include "sched/critical_path.hpp"
 
 namespace stkde::core {
@@ -15,6 +17,11 @@ namespace stkde::core {
 // voxel, so the 8 parity sets run as 8 parallel-for phases. Writes are
 // unclipped — a subdomain's points may spill into neighbors' voxels, which
 // is safe because neighbors are in other parity sets.
+//
+// Tile treatment (docs/SCATTER_CORE.md): each bin is Morton-sorted so a
+// worker walks its subdomain in scatter order, and spatial tables come from
+// a per-worker offset-keyed cache (Params::tile knobs) instead of a fresh
+// fill per point.
 Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
                      const Params& p) {
   p.validate();
@@ -32,6 +39,7 @@ Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
   {
     util::ScopedPhase bin(res.phases, phase::kBin);
     bins = bin_by_owner(pts, s.map, dec);
+    sort_bins_by_scatter_key(bins, pts, s.map);
   }
   {
     // The implied schedule's T1/Tinf under the parity coloring (Fig. 12).
@@ -54,6 +62,8 @@ Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
   util::ScopedPhase compute(res.phases, phase::kCompute);
   const Extent3 whole = Extent3::whole(d);
   res.diag.task_seconds.assign(static_cast<std::size_t>(dec.count()), 0.0);
+  kernels::TableCachePool cache_pool(
+      kernels::TableCacheConfig{p.tile.table_quant, p.tile.cache_bytes}, s.Hs);
   detail::with_kernel(p.kernel, [&](const auto& k) {
     for (std::int32_t abase = 0; abase <= 1; ++abase) {
       for (std::int32_t bbase = 0; bbase <= 1; ++bbase) {
@@ -68,22 +78,26 @@ Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
           std::int64_t cells = 0, span = 0, nz = 0;
 #pragma omp parallel num_threads(P)
           {
-            kernels::SpatialInvariant ks;
+            // Leased caches persist across the 8 phases, so a worker keeps
+            // its warm tables from one parity set to the next.
+            auto cache = cache_pool.acquire();
             kernels::TemporalInvariant kt;
 #pragma omp for schedule(dynamic) reduction(+ : cells, span, nz)
             for (std::int64_t i = 0; i < nset; ++i) {
               util::Timer task_timer;
               const std::int64_t v = set[static_cast<std::size_t>(i)];
               for (const std::uint32_t idx :
-                   bins.bins[static_cast<std::size_t>(v)])
-                if (detail::scatter_sym(res.grid, whole, s.map, k,
-                                        pts[static_cast<std::size_t>(idx)],
-                                        p.hs, p.ht, s.Hs, s.Ht, s.scale, ks,
-                                        kt)) {
-                  cells += ks.cells();
-                  span += ks.span_cells();
-                  nz += ks.nonzero();
+                   bins.bins[static_cast<std::size_t>(v)]) {
+                const detail::CachedStamp st = detail::scatter_cached(
+                    res.grid, whole, s.map, k,
+                    pts[static_cast<std::size_t>(idx)], p.hs, p.ht, s.Hs,
+                    s.Ht, s.scale, *cache, kt);
+                if (st.filled) {
+                  cells += st.table->cells();
+                  span += st.table->span_cells();
+                  nz += st.table->nonzero();
                 }
+              }
               res.diag.task_seconds[static_cast<std::size_t>(v)] =
                   task_timer.seconds();
             }
@@ -95,6 +109,8 @@ Result run_pb_sym_pd(const PointSet& pts, const DomainSpec& dom,
       }
     }
   });
+  res.diag.table_lookups = cache_pool.lookups();
+  res.diag.table_fills = cache_pool.fills();
   return res;
 }
 

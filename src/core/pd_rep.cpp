@@ -4,8 +4,10 @@
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
 #include "grid/reduction.hpp"
+#include "kernels/table_cache.hpp"
 #include "partition/binning.hpp"
 #include "partition/load.hpp"
+#include "partition/tile_order.hpp"
 #include "sched/dag_scheduler.hpp"
 #include "sched/replication.hpp"
 
@@ -39,6 +41,7 @@ Result run_pb_sym_pd_rep(const PointSet& pts, const DomainSpec& dom,
   {
     util::ScopedPhase bin(res.phases, phase::kBin);
     bins = bin_by_owner(pts, s.map, dec);
+    sort_bins_by_scatter_key(bins, pts, s.map);
   }
 
   const sched::StencilGraph g = sched::StencilGraph::of(dec);
@@ -105,6 +108,10 @@ Result run_pb_sym_pd_rep(const PointSet& pts, const DomainSpec& dom,
   // Replica buffers, per replicated subdomain.
   std::vector<std::vector<DenseGrid3<float>>> buffers(
       static_cast<std::size_t>(nsub));
+  // Tile treatment: every scatter task (direct or replica) leases a warm
+  // per-worker table cache; the caches persist for the whole DAG run.
+  kernels::TableCachePool cache_pool(
+      kernels::TableCacheConfig{p.tile.table_quant, p.tile.cache_bytes}, s.Hs);
   detail::with_kernel(p.kernel, [&](const auto& k) {
     sched::DagScheduler dag;
     // write_task[v]: the task that mutates the shared grid for subdomain v
@@ -114,12 +121,12 @@ Result run_pb_sym_pd_rep(const PointSet& pts, const DomainSpec& dom,
     auto scatter_points = [&](DenseGrid3<float>& target, const Extent3& clip,
                               const std::vector<std::uint32_t>& idxs,
                               std::size_t lo, std::size_t hi) {
-      kernels::SpatialInvariant ks;
+      auto cache = cache_pool.acquire();
       kernels::TemporalInvariant kt;
       for (std::size_t i = lo; i < hi; ++i)
-        detail::scatter_sym(target, clip, s.map, k,
-                            pts[static_cast<std::size_t>(idxs[i])], p.hs, p.ht,
-                            s.Hs, s.Ht, s.scale, ks, kt);
+        detail::scatter_cached(target, clip, s.map, k,
+                               pts[static_cast<std::size_t>(idxs[i])], p.hs,
+                               p.ht, s.Hs, s.Ht, s.scale, *cache, kt);
     };
 
     for (std::int64_t v = 0; v < nsub; ++v) {
@@ -174,6 +181,8 @@ Result run_pb_sym_pd_rep(const PointSet& pts, const DomainSpec& dom,
     for (std::size_t i = 0; i < dag.task_count(); ++i)
       res.diag.task_seconds[i] = dag.finish_times()[i] - dag.start_times()[i];
   });
+  res.diag.table_lookups = cache_pool.lookups();
+  res.diag.table_fills = cache_pool.fills();
   return res;
 }
 

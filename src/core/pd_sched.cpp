@@ -1,8 +1,10 @@
 #include "core/algorithms.hpp"
 #include "core/detail/common.hpp"
 #include "core/detail/scatter.hpp"
+#include "kernels/table_cache.hpp"
 #include "partition/binning.hpp"
 #include "partition/load.hpp"
+#include "partition/tile_order.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/dag_scheduler.hpp"
 
@@ -31,6 +33,7 @@ Result run_pb_sym_pd_sched(const PointSet& pts, const DomainSpec& dom,
   {
     util::ScopedPhase bin(res.phases, phase::kBin);
     bins = bin_by_owner(pts, s.map, dec);
+    sort_bins_by_scatter_key(bins, pts, s.map);
   }
 
   const sched::StencilGraph g = sched::StencilGraph::of(dec);
@@ -56,18 +59,22 @@ Result run_pb_sym_pd_sched(const PointSet& pts, const DomainSpec& dom,
   const Extent3 whole = Extent3::whole(d);
   const std::int64_t nsub = dec.count();
   res.diag.task_seconds.assign(static_cast<std::size_t>(nsub), 0.0);
+  // Tile treatment: tasks lease a warm per-worker table cache from the pool
+  // (leases outlive single tasks only, the caches persist for the run).
+  kernels::TableCachePool cache_pool(
+      kernels::TableCacheConfig{p.tile.table_quant, p.tile.cache_bytes}, s.Hs);
   detail::with_kernel(p.kernel, [&](const auto& k) {
     sched::DagScheduler dag;
     for (std::int64_t v = 0; v < nsub; ++v) {
       dag.add_task(
           [&, v] {
-            kernels::SpatialInvariant ks;
+            auto cache = cache_pool.acquire();
             kernels::TemporalInvariant kt;
             for (const std::uint32_t idx :
                  bins.bins[static_cast<std::size_t>(v)])
-              detail::scatter_sym(res.grid, whole, s.map, k,
-                                  pts[static_cast<std::size_t>(idx)], p.hs,
-                                  p.ht, s.Hs, s.Ht, s.scale, ks, kt);
+              detail::scatter_cached(res.grid, whole, s.map, k,
+                                     pts[static_cast<std::size_t>(idx)], p.hs,
+                                     p.ht, s.Hs, s.Ht, s.scale, *cache, kt);
           },
           loads[static_cast<std::size_t>(v)]);
     }
@@ -84,6 +91,8 @@ Result run_pb_sym_pd_sched(const PointSet& pts, const DomainSpec& dom,
           dag.finish_times()[static_cast<std::size_t>(v)] -
           dag.start_times()[static_cast<std::size_t>(v)];
   });
+  res.diag.table_lookups = cache_pool.lookups();
+  res.diag.table_fills = cache_pool.fills();
   return res;
 }
 

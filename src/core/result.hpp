@@ -40,10 +40,16 @@ struct Diagnostics {
   std::int64_t span_cells = 0;     ///< cells covered by per-row Y-spans
   std::int64_t table_nonzero = 0;  ///< cells strictly inside the disk
 
-  /// Invariant-table cache counters (PB-TILE and the streaming batch path;
-  /// 0/0 for strategies that fill tables directly).
+  /// Invariant-table cache counters (PB-TILE, the cached DD/PD family, and
+  /// the streaming batch path; 0/0 for strategies that fill tables
+  /// directly).
   std::int64_t table_lookups = 0;  ///< cache probes (one per point-tile stamp)
   std::int64_t table_fills = 0;    ///< probes that had to compute a table
+
+  /// PB-TILE traversal schedule ("serial", "parity-wave", "halo-buffer";
+  /// empty for the other strategies) and the worker count it ran with.
+  std::string tile_schedule;
+  int tile_threads = 0;
 
   /// Fraction of table lookups served from the cache without a fill.
   [[nodiscard]] double table_cache_hit_rate() const {

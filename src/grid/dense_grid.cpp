@@ -19,8 +19,24 @@ void DenseGrid3<T>::fill(T v) {
   std::fill_n(data_.get(), static_cast<std::size_t>(size_), v);
 }
 
+#if defined(__SANITIZE_THREAD__)
+#define STKDE_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define STKDE_TSAN_BUILD 1
+#endif
+#endif
+
 template <typename T>
 void DenseGrid3<T>::fill_parallel(T v, int threads) {
+#ifdef STKDE_TSAN_BUILD
+  // Stock libgomp is not TSan-instrumented — its fork/join barriers report
+  // false races on anything the region touched. The fill is trivially
+  // disjoint, so under TSan it degrades to the serial fill and the
+  // sanitizer validates the interesting schedules (thread pool, waves).
+  (void)threads;
+  fill(v);
+#else
   T* const p = data_.get();
   const std::int64_t n = size_;
 #pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads())
@@ -32,6 +48,7 @@ void DenseGrid3<T>::fill_parallel(T v, int threads) {
     const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
     std::fill(p + lo, p + hi, v);
   }
+#endif
 }
 
 template <typename T>

@@ -176,11 +176,15 @@ class SpatialInvariant {
 };
 
 /// Dense (2Ht+1) float table of temporal kernel values around a point.
+/// \p scale (default 1) is folded into every entry — the cached scatter
+/// path (scatter_cached) carries the run scale here instead of in the
+/// shared spatial table, so cached tables stay valid across passes whose
+/// scale differs (the streaming engine's +add / -retire alternation).
 class TemporalInvariant {
  public:
   template <SeparableKernel K>
   void compute(const K& k, const VoxelMapper& map, const Point& p, double ht,
-               std::int32_t Ht) {
+               std::int32_t Ht, double scale = 1.0) {
     const Voxel c = map.voxel_of(p);
     t_lo_ = c.t - Ht;
     len_ = 2 * Ht + 1;
@@ -193,7 +197,7 @@ class TemporalInvariant {
     const double inv_ht = 1.0 / ht;
     for (std::int32_t dt = 0; dt < len_; ++dt) {
       const double w = (map.t_of(t_lo_ + dt) - p.t) * inv_ht;
-      const auto val = static_cast<float>(k.temporal(w));
+      const auto val = static_cast<float>(k.temporal(w) * scale);
       values_[static_cast<std::size_t>(dt)] = val;
       if (val != 0.0f) ++nonzero_;
     }

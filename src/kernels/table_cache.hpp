@@ -31,6 +31,9 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "geom/voxel_mapper.hpp"
@@ -79,6 +82,17 @@ class SpatialTableCache {
   Lookup lookup(const K& k, const VoxelMapper& map, const Point& p, double hs,
                 std::int32_t Hs, double scale) {
     ++lookups_;
+    // Tables fold (hs, scale) into their entries, so a persistent cache
+    // (TableCachePool) must drop every entry when either changes — a stale
+    // hit would stamp the wrong magnitude. The hot path never trips this:
+    // scatter_cached always looks up at scale 1 (the run scale rides in the
+    // per-point temporal table) and hs is fixed per run/estimator.
+    if (hs != hs_ || scale != scale_) {
+      for (Slot& s : slots_) s.used = false;
+      scratch_.used = false;
+      hs_ = hs;
+      scale_ = scale;
+    }
     const DomainSpec& d = map.spec();
     const Voxel c = map.voxel_of(p);
     const double fx = (p.x - d.x0) / d.sres - c.x;
@@ -90,11 +104,22 @@ class SpatialTableCache {
     if (quant_ > 0 && fx >= 0.0 && fx <= 1.0 && fy >= 0.0 && fy <= 1.0) {
       kx = bin_of(fx);
       ky = bin_of(fy);
-      s = &slots_[static_cast<std::size_t>(
-          (kx * static_cast<std::uint64_t>(quant_) + ky) % slots_.size())];
+      const std::uint64_t q = static_cast<std::uint64_t>(quant_);
+      // With one slot per lattice bin the flat index is a perfect hash;
+      // when the byte budget caps slots below Q² it must go through mix()
+      // like the exact path — a plain `flat % slots` folds whole residue
+      // classes of bins onto one slot, and those bins thrash forever.
+      const std::size_t idx =
+          slots_.size() == q * q
+              ? static_cast<std::size_t>(kx * q + ky)
+              : static_cast<std::size_t>(mix(kx, ky) % slots_.size());
+      s = &slots_[idx];
     } else if (quant_ == 0) {
-      kx = std::bit_cast<std::uint64_t>(fx);
-      ky = std::bit_cast<std::uint64_t>(fy);
+      // + 0.0 collapses -0.0 onto +0.0: voxel-boundary points can land on
+      // either sign, and the two bit patterns would key bitwise-identical
+      // tables into different slots.
+      kx = std::bit_cast<std::uint64_t>(fx + 0.0);
+      ky = std::bit_cast<std::uint64_t>(fy + 0.0);
       s = &slots_[static_cast<std::size_t>(mix(kx, ky) % slots_.size())];
     } else {
       // Quantized mode, out-of-lattice offset (clamped voxel): exact fill
@@ -143,12 +168,21 @@ class SpatialTableCache {
     return static_cast<std::uint64_t>(b);
   }
 
-  /// splitmix64-style mix of the two key words.
-  [[nodiscard]] static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + (b << 1 | b >> 63);
+  /// splitmix64 finalizer.
+  [[nodiscard]] static std::uint64_t mix1(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+  }
+
+  /// Pair hash of the two key words. The first word is avalanched *before*
+  /// the words are combined: a linear combine like `a + (b << 1)` collides
+  /// structurally on small integers (quantized bins — kx + 2ky takes only
+  /// O(Q) values over the Q² lattice), which defeated the capped-budget
+  /// slot mapping.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    return mix1(mix1(a) ^ b);
   }
 
   std::int32_t quant_;
@@ -156,6 +190,95 @@ class SpatialTableCache {
   Slot scratch_;  ///< exact-fill path for out-of-lattice offsets
   std::int64_t lookups_ = 0;
   std::int64_t fills_ = 0;
+  // The (hs, scale) the cached tables were filled with; NaN = never filled,
+  // so the first lookup always installs the caller's values.
+  double hs_ = std::numeric_limits<double>::quiet_NaN();
+  double scale_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// A mutex-guarded pool of SpatialTableCache instances for the parallel
+/// scatter paths: SpatialTableCache is single-owner scratch state (lookup()
+/// returns a reference into the cache), so each concurrent worker leases a
+/// private instance for the duration of its task and returns it when done.
+/// Leased caches stay warm across tasks — a worker picking up the next tile
+/// usually inherits a cache already holding that neighbourhood's tables.
+/// At most `max(concurrent leases)` caches are ever created, so memory is
+/// bounded by P × TableCacheConfig::max_bytes.
+///
+/// The aggregate counters are safe to read once every lease has been
+/// returned (end of a parallel region / ThreadPool::wait_idle): the lease
+/// release takes the pool mutex, which orders the workers' counter writes
+/// before the reader's sums.
+class TableCachePool {
+ public:
+  TableCachePool(const TableCacheConfig& cfg, std::int32_t Hs)
+      : cfg_(cfg), hs_(Hs) {}
+
+  /// RAII lease of one cache; returns it to the pool on destruction.
+  class Lease {
+   public:
+    Lease(TableCachePool* pool, SpatialTableCache* cache)
+        : pool_(pool), cache_(cache) {}
+    Lease(Lease&& o) noexcept : pool_(o.pool_), cache_(o.cache_) {
+      o.pool_ = nullptr;
+      o.cache_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_) pool_->release(cache_);
+    }
+    [[nodiscard]] SpatialTableCache& operator*() const { return *cache_; }
+    [[nodiscard]] SpatialTableCache* operator->() const { return cache_; }
+
+   private:
+    TableCachePool* pool_;
+    SpatialTableCache* cache_;
+  };
+
+  [[nodiscard]] Lease acquire() {
+    std::lock_guard lk(mu_);
+    if (free_.empty()) {
+      all_.push_back(std::make_unique<SpatialTableCache>(cfg_, hs_));
+      free_.push_back(all_.back().get());
+    }
+    SpatialTableCache* c = free_.back();
+    free_.pop_back();
+    return Lease{this, c};
+  }
+
+  /// Caches created so far (== peak concurrent leases).
+  [[nodiscard]] std::size_t cache_count() const {
+    std::lock_guard lk(mu_);
+    return all_.size();
+  }
+
+  /// Aggregate counters over every cache; call only while no lease is live.
+  [[nodiscard]] std::int64_t lookups() const {
+    std::lock_guard lk(mu_);
+    std::int64_t n = 0;
+    for (const auto& c : all_) n += c->lookups();
+    return n;
+  }
+  [[nodiscard]] std::int64_t fills() const {
+    std::lock_guard lk(mu_);
+    std::int64_t n = 0;
+    for (const auto& c : all_) n += c->fills();
+    return n;
+  }
+
+ private:
+  void release(SpatialTableCache* c) {
+    std::lock_guard lk(mu_);
+    free_.push_back(c);
+  }
+
+  TableCacheConfig cfg_;
+  std::int32_t hs_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpatialTableCache>> all_;
+  std::vector<SpatialTableCache*> free_;
 };
 
 }  // namespace stkde::kernels

@@ -39,13 +39,20 @@ std::uint64_t scatter_order_key(const Voxel& v) {
 }
 
 Decomposition tile_decomposition(const GridDims& dims, std::int64_t tile_bytes,
-                                 std::size_t value_size) {
+                                 std::size_t value_size,
+                                 std::int64_t row_stride_elems) {
   if (tile_bytes <= 0) tile_bytes = std::int64_t{1} << 20;
   if (value_size == 0) value_size = sizeof(float);
-  // Grid cells a tile may map onto: tile_bytes / (Gt * value_size) spatial
-  // columns, split as close to square as the grid allows.
+  // Grid cells a tile may map onto: tile_bytes / (stride * value_size)
+  // spatial columns, split as close to square as the grid allows. A column
+  // occupies the grid's *allocated* T-row stride, not nt: a cache-line
+  // padded grid (RowPad::kCacheLine) carries up to 15 extra floats per row,
+  // and budgeting the packed width silently blew the L2 budget.
+  const std::int64_t stride =
+      row_stride_elems > 0 ? row_stride_elems
+                           : static_cast<std::int64_t>(dims.gt);
   const std::int64_t column_bytes =
-      static_cast<std::int64_t>(dims.gt) * static_cast<std::int64_t>(value_size);
+      stride * static_cast<std::int64_t>(value_size);
   const std::int64_t columns =
       std::max<std::int64_t>(1, tile_bytes / std::max<std::int64_t>(1, column_bytes));
   const auto side = static_cast<std::int32_t>(

@@ -31,12 +31,17 @@ namespace stkde {
 [[nodiscard]] std::uint64_t scatter_order_key(const Voxel& v);
 
 /// Spatial-only tiling (temporal axis unsplit, c = 1) whose tiles each map
-/// onto at most ~tile_bytes of grid storage (bx·by·Gt·value_size): the
+/// onto at most ~tile_bytes of grid storage (bx·by·stride·value_size): the
 /// working set that should stay L2-resident while every overlapping
 /// cylinder stamps into it. tile_bytes <= 0 selects the 1 MiB default.
+/// \p row_stride_elems is the target grid's actual T-row stride in elements
+/// (DenseGrid3::row_stride()); 0 means packed rows (stride == Gt). Padded
+/// grids (RowPad::kCacheLine) must pass their real stride — budgeting the
+/// packed Gt silently oversizes tiles past the L2 budget.
 [[nodiscard]] Decomposition tile_decomposition(const GridDims& dims,
                                                std::int64_t tile_bytes,
-                                               std::size_t value_size);
+                                               std::size_t value_size,
+                                               std::int64_t row_stride_elems = 0);
 
 /// Binning rule for tile_major_bins.
 enum class TileBinRule {

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/detail/common.hpp"
 #include "core/detail/tile_scatter.hpp"
@@ -66,6 +67,36 @@ TEST(TileOrder, TileDecompositionRespectsByteBudget) {
   const Decomposition fine = tile_decomposition(dims, 1, sizeof(float));
   EXPECT_EQ(fine.a(), dims.gx);
   EXPECT_EQ(fine.b(), dims.gy);
+}
+
+TEST(TileOrder, TileDecompositionBudgetsThePaddedRowStride) {
+  // Regression: PB-TILE allocates its grid with RowPad::kCacheLine, so a
+  // column occupies row_stride() elements, not gt. Budgeting the packed gt
+  // silently oversized tiles — here gt=3 floats (12 B) pads to 16 (64 B),
+  // a 5.3x understatement of every column.
+  const GridDims dims{64, 48, 3};
+  const std::int64_t budget = 32 * 1024;
+  DensityGrid grid;
+  grid.allocate(Extent3::whole(dims), RowPad::kCacheLine);
+  ASSERT_TRUE(grid.padded());
+  const Decomposition tiles =
+      tile_decomposition(dims, budget, sizeof(float), grid.row_stride());
+  for (std::int64_t v = 0; v < tiles.count(); ++v) {
+    const Extent3 sub = tiles.subdomain(v);
+    const std::int64_t tile_bytes =
+        static_cast<std::int64_t>(sub.nx()) * sub.ny() * grid.row_stride() *
+        static_cast<std::int64_t>(sizeof(float));
+    EXPECT_LE(tile_bytes, budget) << "tile " << v << " exceeds the L2 budget";
+  }
+  // The packed-stride tiling (the old behaviour) demonstrably blows the
+  // budget on this grid — the fix must produce a strictly finer tiling.
+  const Decomposition packed = tile_decomposition(dims, budget, sizeof(float));
+  const Extent3 sub0 = packed.subdomain(std::int64_t{0});
+  EXPECT_GT(static_cast<std::int64_t>(sub0.nx()) * sub0.ny() *
+                grid.row_stride() * static_cast<std::int64_t>(sizeof(float)),
+            budget)
+      << "test instance no longer demonstrates the padded-stride bug";
+  EXPECT_GT(tiles.count(), packed.count());
 }
 
 TEST(TileOrder, BinsAreMortonSortedAndCoverAllPoints) {
@@ -176,6 +207,76 @@ TEST(TileEngine, OutOfLatticeOffsetsBypassQuantization) {
   const Result cached =
       estimate(t.points, t.domain, t.params, Algorithm::kPBTile);
   EXPECT_LE(cached.grid.max_abs_diff(sym.grid), rel_tolerance(sym.grid, 1e-5));
+}
+
+TEST(TileCache, CappedBudgetDoesNotAliasLatticeResidueClasses) {
+  // Regression: with Q=16 and data on an S=4 sub-voxel lattice, the 16
+  // distinct quantized keys are kx*16 + ky for kx, ky in {0, 4, 8, 12}.
+  // When the byte budget caps the cache at 32 slots (< Q^2 = 256), the old
+  // linear `key % slots` folded all 16 keys onto the 4 slots {0, 4, 8, 12}
+  // — whole residue classes thrashing one slot forever. Routing capped
+  // lookups through mix() spreads them; after the first warm-up round the
+  // hit rate must be high, not pinned near zero.
+  constexpr std::int32_t Hs = 4;
+  const std::uint64_t table_bytes = (2 * Hs + 1) * (2 * Hs + 1) * 4 + 64;
+  kernels::SpatialTableCache cache(
+      kernels::TableCacheConfig{16, 32 * table_bytes}, Hs);
+  ASSERT_EQ(cache.slot_count(), 32u) << "budget no longer caps below Q^2";
+  const DomainSpec dom{0.0, 0.0, 0.0, 32.0, 32.0, 8.0, 1.0, 1.0};
+  const VoxelMapper map(dom);
+  const kernels::EpanechnikovKernel k;
+  for (int round = 0; round < 8; ++round)
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const Point p{10.0 + (i + 0.125) / 4.0, 10.0 + (j + 0.125) / 4.0, 4.0};
+        (void)cache.lookup(k, map, p, 3.0, Hs, 1.0);
+      }
+  // 16 keys spread over 32 slots: a couple of mix() collisions are fine,
+  // residue-class aliasing (hit rate <= ~0.2 here) is not.
+  EXPECT_GT(cache.hit_rate(), 0.5);
+}
+
+TEST(TileCache, GenerousBudgetKeepsThePerfectLatticeIndex) {
+  // When every lattice bin has its own slot (slots == Q^2), the flat index
+  // is a perfect hash — distinct bins must never evict each other.
+  constexpr std::int32_t Hs = 3;
+  kernels::SpatialTableCache cache(
+      kernels::TableCacheConfig{8, std::uint64_t{8} << 20}, Hs);
+  ASSERT_EQ(cache.slot_count(), 64u);
+  const DomainSpec dom{0.0, 0.0, 0.0, 32.0, 32.0, 8.0, 1.0, 1.0};
+  const VoxelMapper map(dom);
+  const kernels::EpanechnikovKernel k;
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j) {
+        const Point p{10.0 + (i + 0.5) / 8.0, 10.0 + (j + 0.5) / 8.0, 4.0};
+        (void)cache.lookup(k, map, p, 3.0, Hs, 1.0);
+      }
+  // 64 bins, 3 rounds: exactly 64 fills, everything after is a hit.
+  EXPECT_EQ(cache.fills(), 64);
+  EXPECT_EQ(cache.lookups(), 3 * 64);
+}
+
+TEST(TileCache, NegativeZeroOffsetsShareTheExactKey) {
+  // Regression: exact-mode keys bit_cast the raw offsets, and a
+  // voxel-boundary point can land on fx = -0.0 (e.g. (p.x - x0)/sres
+  // underflowing to negative zero). -0.0 and +0.0 produce bitwise-identical
+  // tables, so they must share one slot — the old keys split them.
+  constexpr std::int32_t Hs = 3;
+  kernels::SpatialTableCache cache(
+      kernels::TableCacheConfig{0, std::uint64_t{1} << 20}, Hs);
+  const DomainSpec dom{0.0, 0.0, 0.0, 32.0, 32.0, 8.0, 2.0, 1.0};
+  const VoxelMapper map(dom);
+  const kernels::EpanechnikovKernel k;
+  // (p.x - 0)/2 underflows the smallest negative denormal to -0.0; the
+  // voxel still clamps to cell 0, so fx == -0.0 while py's fx == +0.0.
+  const Point neg{-std::numeric_limits<double>::denorm_min(), 5.0, 4.0};
+  const Point pos{0.0, 5.0, 4.0};
+  ASSERT_EQ(map.voxel_of(neg).x, map.voxel_of(pos).x);
+  (void)cache.lookup(k, map, pos, 3.0, Hs, 1.0);
+  const auto second = cache.lookup(k, map, neg, 3.0, Hs, 1.0);
+  EXPECT_FALSE(second.filled) << "-0.0 offset missed the +0.0 table";
+  EXPECT_EQ(cache.fills(), 1);
 }
 
 TEST(TileEngine, ExactCacheHitsOnLatticeData) {
