@@ -458,11 +458,28 @@ void IncrementalEstimator::publish() {
   std::shared_ptr<const Published> old;
   {
     std::lock_guard lk(pub_mu_);
-    old = std::exchange(front_, std::move(sp));
+    old = front_;
+    front_ = sp;
   }
   // `old` drops here, outside pub_mu_ (its deleter takes the pool mutex).
+  old.reset();
   live_published_.store(live_, std::memory_order_release);
   ++stats_.publishes;
+  if (publish_hook_) publish_hook_(make_pin(sp));
+}
+
+ReaderPin IncrementalEstimator::make_pin(
+    std::shared_ptr<const Published> pub) {
+  ReaderPin pin;
+  if (pub) {
+    pin.live_ = pub->n;
+    pin.seq_ = pub->seq;
+    // Aliasing pointer: the pin exposes only the grid but keeps the whole
+    // published buffer (and its return-to-pool deleter) alive.
+    const DensityGrid* grid = &pub->raw;
+    pin.raw_ = std::shared_ptr<const DensityGrid>(std::move(pub), grid);
+  }
+  return pin;
 }
 
 std::shared_ptr<const IncrementalEstimator::Published>
@@ -471,23 +488,21 @@ IncrementalEstimator::front() const {
   return front_;
 }
 
+ReaderPin IncrementalEstimator::pin() const { return make_pin(front()); }
+
 DensityGrid IncrementalEstimator::snapshot() const {
   DensityGrid out(raw_.extent());
-  const auto pub = front();
-  if (!pub || pub->n == 0) {
+  const ReaderPin p = pin();
+  if (!p.valid() || p.live() == 0) {
     out.fill(0.0f);
     return out;
   }
-  out.assign_scaled(pub->raw, 1.0 / static_cast<double>(pub->n));
+  out.assign_scaled(p.raw(), p.norm());
   return out;
 }
 
 float IncrementalEstimator::density_at(const Voxel& v) const {
-  const auto pub = front();
-  if (!pub || pub->n == 0) return 0.0f;
-  const double inv_n = 1.0 / static_cast<double>(pub->n);
-  return static_cast<float>(static_cast<double>(pub->raw.at(v.x, v.y, v.t)) *
-                            inv_n);
+  return pin().density_at(v);
 }
 
 }  // namespace stkde::core

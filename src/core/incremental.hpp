@@ -55,6 +55,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,6 +119,54 @@ struct StreamStats {
   std::uint64_t table_fills = 0;      ///< probes that computed a table
 };
 
+/// A pinned, immutable published state. Every read through one ReaderPin
+/// sees the same version: the raw grid, live count, and sequence number
+/// were all published together, so multi-read "requests" (two probes, a
+/// probe plus a snapshot, ...) cannot straddle a concurrent publish the way
+/// repeated IncrementalEstimator::density_at() calls can. Pins are cheap
+/// (one shared_ptr copy) and keep their buffer alive until dropped — the
+/// serve layer's consistency unit (serve/snapshot_registry.hpp).
+class ReaderPin {
+ public:
+  ReaderPin() = default;
+
+  /// False until the estimator has published at least once.
+  [[nodiscard]] bool valid() const { return raw_ != nullptr; }
+
+  /// Publish sequence number of the pinned state (0 when invalid).
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+  /// Live event count of the pinned state (the density normalizer).
+  [[nodiscard]] std::size_t live() const { return live_; }
+
+  /// The pinned raw (unnormalized) grid; valid() must be true. The shared
+  /// pointer may outlive the estimator.
+  [[nodiscard]] const DensityGrid& raw() const { return *raw_; }
+  [[nodiscard]] const std::shared_ptr<const DensityGrid>& shared_raw() const {
+    return raw_;
+  }
+
+  /// 1/n normalization factor of the pinned state (0 for an empty stream).
+  [[nodiscard]] double norm() const {
+    return live_ > 0 ? 1.0 / static_cast<double>(live_) : 0.0;
+  }
+
+  /// Normalized density at one voxel of the pinned state; voxels outside
+  /// the grid (and invalid pins) read as 0.
+  [[nodiscard]] float density_at(const Voxel& v) const {
+    if (!raw_ || live_ == 0 || !raw_->extent().contains(v.x, v.y, v.t))
+      return 0.0f;
+    return static_cast<float>(static_cast<double>(raw_->at(v.x, v.y, v.t)) *
+                              norm());
+  }
+
+ private:
+  friend class IncrementalEstimator;
+  std::shared_ptr<const DensityGrid> raw_;
+  std::size_t live_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
 class IncrementalEstimator {
  public:
   /// Single-threaded engine (StreamConfig defaults). Allocates and zeroes
@@ -164,8 +213,22 @@ class IncrementalEstimator {
   [[nodiscard]] DensityGrid snapshot() const;
 
   /// Normalized density at one voxel of the last published state (cheap
-  /// probe for dashboards). Safe to call from reader threads.
+  /// probe for dashboards). Safe to call from reader threads. Each call
+  /// re-reads the freshest publish; reads that must agree on a version
+  /// (several probes in one request) go through one pin() instead.
   [[nodiscard]] float density_at(const Voxel& v) const;
+
+  /// Pin the last published state: all reads through the returned handle
+  /// see one consistent version. Safe to call from reader threads; invalid
+  /// (density 0 everywhere) until the first publish.
+  [[nodiscard]] ReaderPin pin() const;
+
+  /// Writer-side publish/subscribe hook: called on the ingest thread after
+  /// every publish with a pin of the fresh state (the serve layer's
+  /// SnapshotRegistry subscribes here). Pass nullptr to detach. Must not be
+  /// changed while another thread is ingesting.
+  using PublishHook = std::function<void(const ReaderPin&)>;
+  void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
   /// Raw (unnormalized) staging grid, 1/(hs^2 ht)-scaled kernel sums.
   /// Writer-side view: not synchronized with concurrent ingestion.
@@ -228,6 +291,7 @@ class IncrementalEstimator {
   void recover_staging();
   void publish();
   [[nodiscard]] std::shared_ptr<const Published> front() const;
+  [[nodiscard]] static ReaderPin make_pin(std::shared_ptr<const Published> pub);
 
   DomainSpec dom_;
   Params params_;
@@ -254,6 +318,8 @@ class IncrementalEstimator {
   std::size_t live_ = 0;
   std::uint64_t retired_since_checkpoint_ = 0;
   StreamStats stats_;
+
+  PublishHook publish_hook_;  ///< writer-side subscriber (serve registry)
 
   mutable std::mutex pub_mu_;  ///< guards the front_ pointer swap
   std::shared_ptr<const Published> front_;  ///< last published (readers copy)

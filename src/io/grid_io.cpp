@@ -3,6 +3,8 @@
 #include <array>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 namespace stkde::io {
@@ -11,9 +13,12 @@ namespace {
 constexpr char kMagic[8] = {'S', 'T', 'K', 'D', 'E', 'G', '1', '\0'};
 }
 
-void save_grid(const std::string& path, const DensityGrid& grid) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("grid_io: cannot open " + path);
+std::uint64_t grid_payload_bytes(const DensityGrid& grid) {
+  return sizeof(kMagic) + 6 * sizeof(std::int32_t) +
+         static_cast<std::uint64_t>(grid.extent().volume()) * sizeof(float);
+}
+
+void save_grid(std::ostream& out, const DensityGrid& grid) {
   out.write(kMagic, sizeof(kMagic));
   const Extent3& e = grid.extent();
   const std::array<std::int32_t, 6> hdr = {e.xlo, e.xhi, e.ylo,
@@ -32,26 +37,44 @@ void save_grid(const std::string& path, const DensityGrid& grid) {
     out.write(reinterpret_cast<const char*>(grid.data()),
               static_cast<std::streamsize>(grid.bytes()));
   }
-  if (!out) throw std::runtime_error("grid_io: write failed: " + path);
+  if (!out) throw std::runtime_error("grid_io: write failed");
+}
+
+void save_grid(const std::string& path, const DensityGrid& grid) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("grid_io: cannot open " + path);
+  try {
+    save_grid(out, grid);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("grid_io: write failed: " + path);
+  }
+}
+
+DensityGrid load_grid(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("grid_io: bad magic");
+  std::array<std::int32_t, 6> hdr{};
+  in.read(reinterpret_cast<char*>(hdr.data()), sizeof(hdr));
+  if (!in) throw std::runtime_error("grid_io: truncated header");
+  const Extent3 e{hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]};
+  if (e.empty()) throw std::runtime_error("grid_io: empty extent");
+  DensityGrid grid(e);
+  in.read(reinterpret_cast<char*>(grid.data()),
+          static_cast<std::streamsize>(grid.bytes()));
+  if (!in) throw std::runtime_error("grid_io: truncated payload");
+  return grid;
 }
 
 DensityGrid load_grid(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("grid_io: cannot open " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    throw std::runtime_error("grid_io: bad magic in " + path);
-  std::array<std::int32_t, 6> hdr{};
-  in.read(reinterpret_cast<char*>(hdr.data()), sizeof(hdr));
-  if (!in) throw std::runtime_error("grid_io: truncated header in " + path);
-  const Extent3 e{hdr[0], hdr[1], hdr[2], hdr[3], hdr[4], hdr[5]};
-  if (e.empty()) throw std::runtime_error("grid_io: empty extent in " + path);
-  DensityGrid grid(e);
-  in.read(reinterpret_cast<char*>(grid.data()),
-          static_cast<std::streamsize>(grid.bytes()));
-  if (!in) throw std::runtime_error("grid_io: truncated payload in " + path);
-  return grid;
+  try {
+    return load_grid(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
 }
 
 }  // namespace stkde::io

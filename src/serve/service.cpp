@@ -1,0 +1,66 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace stkde::serve {
+
+namespace {
+
+wire::ErrorResponse bad_argument(const char* what) {
+  return wire::ErrorResponse{wire::ErrorCode::kBadArgument, what};
+}
+
+}  // namespace
+
+wire::ResponseMessage execute(const Session& session,
+                              const wire::QueryMessage& query) {
+  const std::uint64_t version = session.version();
+  return std::visit(
+      [&](const auto& q) -> wire::ResponseMessage {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, wire::DensityAtQuery>) {
+          return wire::DensityAtResponse{version, session.density_at(q.at)};
+        } else if constexpr (std::is_same_v<T, wire::RegionQuery>) {
+          const double value =
+              q.op == wire::RegionOp::kSum
+                  ? session.region_sum(q.region)
+                  : static_cast<double>(session.region_max(q.region));
+          return wire::RegionResponse{version, q.op, value};
+        } else if constexpr (std::is_same_v<T, wire::SliceQuery>) {
+          try {
+            return wire::SliceResponse{version, q.t, session.slice(q.t)};
+          } catch (const std::out_of_range&) {
+            return bad_argument("slice t outside grid");
+          }
+        } else if constexpr (std::is_same_v<T, wire::HotspotsQuery>) {
+          if (!(q.quantile >= 0.0 && q.quantile <= 1.0))
+            return bad_argument("hotspot quantile outside [0, 1]");
+          return wire::HotspotsResponse{
+              version, session.top_hotspots(q.k, q.quantile)};
+        } else {
+          static_assert(std::is_same_v<T, wire::RegionGridQuery>);
+          try {
+            wire::RegionGridResponse resp;
+            resp.version = version;
+            resp.grid = session.region_grid(q.region);
+            return resp;
+          } catch (const std::invalid_argument&) {
+            return bad_argument("region clips to empty");
+          }
+        }
+      },
+      query);
+}
+
+wire::Frame serve_frame(const Session& session, const std::uint8_t* data,
+                        std::size_t size) {
+  std::string error;
+  const auto query = wire::decode_query(data, size, &error);
+  if (!query)
+    return wire::encode(wire::ResponseMessage{
+        wire::ErrorResponse{wire::ErrorCode::kMalformed, std::move(error)}});
+  return wire::encode(execute(session, *query));
+}
+
+}  // namespace stkde::serve

@@ -1,0 +1,35 @@
+#pragma once
+/// \file service.hpp
+/// Density-as-a-service, dispatch: execute decoded wire queries against a
+/// session's pinned snapshot, and the frame-in/frame-out entry point a
+/// transport would call per request.
+///
+/// The request model: the caller delimits requests (Session::begin_request
+/// re-pins under the session's staleness policy); every frame served
+/// between two begin_request() calls is answered from one snapshot
+/// version. serve_frame() itself never re-pins — consistency is the
+/// session's job, framing is this file's.
+
+#include <cstdint>
+
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+
+namespace stkde::serve {
+
+/// Execute one decoded query against \p session's pinned snapshot.
+/// Unservable arguments (slice t outside the grid, an empty region for a
+/// grid query, a quantile outside [0, 1]) come back as ErrorResponse
+/// {kBadArgument}; valid queries over empty/unpublished snapshots return
+/// zeros, not errors.
+[[nodiscard]] wire::ResponseMessage execute(const Session& session,
+                                            const wire::QueryMessage& query);
+
+/// Frame in, frame out: decode, execute, encode. Malformed frames come
+/// back as an encoded ErrorResponse{kMalformed} carrying the decode
+/// reason; this function never throws on hostile input.
+[[nodiscard]] wire::Frame serve_frame(const Session& session,
+                                      const std::uint8_t* data,
+                                      std::size_t size);
+
+}  // namespace stkde::serve

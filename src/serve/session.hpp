@@ -1,0 +1,99 @@
+#pragma once
+/// \file session.hpp
+/// Density-as-a-service, query side: a reader session answering point,
+/// region, slice, and hotspot queries against one *pinned* snapshot
+/// version.
+///
+/// Consistency model: a session pins a registry version and serves every
+/// query from that pin until the next begin_request() — several queries in
+/// one request always see one version, never a half-advanced stream (the
+/// straddle IncrementalEstimator::density_at() exhibits when called twice
+/// around a publish). begin_request() re-pins only when the pinned version
+/// has fallen more than SessionConfig::max_staleness versions behind the
+/// registry head, so a session trades freshness for pin stability
+/// explicitly.
+///
+/// All returned values are *normalized* densities (raw / n_live), matching
+/// IncrementalEstimator::snapshot(). A session is single-threaded — one
+/// per reader thread; the registry behind it is the shared, thread-safe
+/// object.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/voxel_mapper.hpp"
+#include "grid/extent.hpp"
+#include "io/slice.hpp"
+#include "serve/snapshot_registry.hpp"
+
+namespace stkde::serve {
+
+/// Session policy knobs.
+struct SessionConfig {
+  /// begin_request() keeps the current pin while it is at most this many
+  /// versions behind the registry head; 0 always re-pins to head.
+  std::uint64_t max_staleness = 0;
+};
+
+/// One ranked density hotspot (a 26-connected super-threshold component).
+struct Hotspot {
+  Voxel peak{};               ///< voxel of maximum density
+  float peak_density = 0.0f;  ///< normalized density at the peak
+  double mass = 0.0;          ///< normalized density summed over the component
+  std::int64_t voxels = 0;    ///< component size
+};
+
+class Session {
+ public:
+  explicit Session(const SnapshotRegistry& registry, SessionConfig cfg = {});
+
+  /// Start a request: re-pin iff the held pin is more than
+  /// cfg.max_staleness versions behind the head. Returns the version the
+  /// request will be served from.
+  std::uint64_t begin_request();
+
+  /// The pinned snapshot (invalid until the registry's first publish).
+  [[nodiscard]] const Snapshot& pinned() const { return snap_; }
+  [[nodiscard]] std::uint64_t version() const { return snap_.version; }
+  [[nodiscard]] const SnapshotRegistry& registry() const { return *reg_; }
+
+  // Query endpoints — all evaluated against the pinned version. ----------
+
+  /// Normalized density at the voxel containing \p p; 0 outside the domain.
+  [[nodiscard]] float density_at(const Point& p) const;
+
+  /// Normalized density at voxel \p v; 0 outside the grid.
+  [[nodiscard]] float density_at(const Voxel& v) const;
+
+  /// Sum of normalized density over \p region (clipped to the grid; empty
+  /// clip sums to 0).
+  [[nodiscard]] double region_sum(const Extent3& region) const;
+
+  /// Maximum normalized density over \p region (clipped; 0 on empty clip).
+  [[nodiscard]] float region_max(const Extent3& region) const;
+
+  /// Normalized T = \p t plane. Throws std::out_of_range when t is outside
+  /// the grid (io::time_slice's contract).
+  [[nodiscard]] io::Field2D slice(std::int32_t t) const;
+
+  /// The \p k heaviest hotspots above the \p quantile density threshold
+  /// (analysis/clusters); fewer when the grid has fewer components.
+  [[nodiscard]] std::vector<Hotspot> top_hotspots(
+      std::size_t k, double quantile = 0.99) const;
+
+  /// Normalized density sub-grid over \p region (clipped to the grid).
+  /// Throws std::invalid_argument when the clip is empty.
+  [[nodiscard]] DensityGrid region_grid(const Extent3& region) const;
+
+ private:
+  /// \p region clipped to the served grid extent.
+  [[nodiscard]] Extent3 clip(const Extent3& region) const;
+
+  const SnapshotRegistry* reg_;
+  SessionConfig cfg_;
+  VoxelMapper map_;
+  Extent3 whole_;
+  Snapshot snap_;
+};
+
+}  // namespace stkde::serve

@@ -1,0 +1,63 @@
+#include "serve/snapshot_registry.hpp"
+
+#include <utility>
+
+namespace stkde::serve {
+
+SnapshotRegistry::SnapshotRegistry(const DomainSpec& dom) : dom_(dom) {
+  dom_.validate();
+}
+
+SnapshotRegistry::SnapshotRegistry(core::IncrementalEstimator& eng)
+    : dom_(eng.domain()), eng_(&eng) {
+  eng_->set_publish_hook([this](const core::ReaderPin& pin) {
+    publish(Snapshot{pin.shared_raw(), pin.live(), pin.seq()});
+  });
+  // Ingestion may have started before the registry attached; seed the head
+  // with the estimator's current published state so early pins see it.
+  const core::ReaderPin pin = eng.pin();
+  if (pin.valid()) publish(Snapshot{pin.shared_raw(), pin.live(), pin.seq()});
+}
+
+SnapshotRegistry::~SnapshotRegistry() {
+  if (eng_) eng_->set_publish_hook(nullptr);
+}
+
+void SnapshotRegistry::publish(Snapshot s) {
+  if (!s.raw) return;
+  {
+    std::lock_guard lk(mu_);
+    if (s.version <= head_.version && head_.valid()) {
+      ++stats_.rejected;
+      return;
+    }
+    head_ = std::move(s);
+    ++stats_.published;
+  }
+  cv_.notify_all();
+}
+
+Snapshot SnapshotRegistry::pin() const {
+  std::lock_guard lk(mu_);
+  ++stats_.pins;
+  return head_;
+}
+
+std::uint64_t SnapshotRegistry::head_version() const {
+  std::lock_guard lk(mu_);
+  return head_.version;
+}
+
+bool SnapshotRegistry::wait_for_version(
+    std::uint64_t version, std::chrono::milliseconds timeout) const {
+  std::unique_lock lk(mu_);
+  return cv_.wait_for(lk, timeout,
+                      [&] { return head_.version >= version; });
+}
+
+RegistryStats SnapshotRegistry::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+}  // namespace stkde::serve

@@ -1,0 +1,107 @@
+#pragma once
+/// \file snapshot_registry.hpp
+/// Density-as-a-service, publication side: a registry of immutable,
+/// versioned density snapshots shared between one writer (the streaming
+/// estimator's ingest thread) and N concurrent reader sessions.
+///
+/// The streaming engine (core/incremental.hpp) already double-buffers its
+/// published states; the registry graduates that swap into a small
+/// publish/subscribe API:
+///  - publish() installs a new head version (monotone: stale versions are
+///    dropped, so a replayed or reordered publish can never move time
+///    backwards for readers);
+///  - pin() hands a reader the current head as an immutable Snapshot it can
+///    hold for as long as it likes — the grid bytes behind a pinned version
+///    never change, later publishes install *new* buffers;
+///  - wait_for_version() blocks a reader until the head reaches a version,
+///    the primitive sessions use to bound staleness after a known write.
+///
+/// Attached mode wires the registry to an IncrementalEstimator's publish
+/// hook, so every ingest batch lands here on the writer thread. The
+/// registry detaches in its destructor: declare it *after* the estimator
+/// (it must be destroyed first). Stand-alone mode (domain constructor)
+/// lets tests and replay tools publish synthetic versions directly.
+///
+/// Threading: publish() is writer-side (one thread); pin(), head_version(),
+/// wait_for_version(), and stats() are safe from any number of reader
+/// threads concurrently with the writer.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/incremental.hpp"
+#include "geom/domain.hpp"
+#include "grid/dense_grid.hpp"
+
+namespace stkde::serve {
+
+/// An immutable, versioned density snapshot — the unit the registry
+/// publishes and sessions pin. The grid is the *raw* (unnormalized) kernel
+/// sum; densities are raw * norm(), exactly as in the streaming engine.
+struct Snapshot {
+  std::shared_ptr<const DensityGrid> raw;  ///< unnormalized kernel sum
+  std::size_t n = 0;                       ///< live events (the normalizer)
+  std::uint64_t version = 0;               ///< publish sequence number
+
+  /// False before the first publish reaches the registry.
+  [[nodiscard]] bool valid() const { return raw != nullptr; }
+
+  /// 1/n normalization factor (0 for an empty stream).
+  [[nodiscard]] double norm() const {
+    return n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Registry counters (serve dashboards and benches).
+struct RegistryStats {
+  std::uint64_t published = 0;  ///< versions installed as head
+  std::uint64_t rejected = 0;   ///< out-of-order publishes dropped
+  std::uint64_t pins = 0;       ///< pin() calls served
+};
+
+class SnapshotRegistry {
+ public:
+  /// Stand-alone registry: versions arrive through publish() directly.
+  explicit SnapshotRegistry(const DomainSpec& dom);
+
+  /// Attach to a live estimator: every estimator publish lands here via
+  /// the writer-side hook, as {pin.raw, pin.live, pin.seq}.
+  explicit SnapshotRegistry(core::IncrementalEstimator& eng);
+
+  ~SnapshotRegistry();
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Install \p s as the head version and wake waiters. Versions <= the
+  /// current head are dropped (stats().rejected) — the head is monotone.
+  void publish(Snapshot s);
+
+  /// Pin the head version. Invalid (all-zero density) before the first
+  /// publish. The returned snapshot is immutable for its whole lifetime.
+  [[nodiscard]] Snapshot pin() const;
+
+  /// Version of the current head (0 before the first publish).
+  [[nodiscard]] std::uint64_t head_version() const;
+
+  /// Block until head_version() >= \p version; false on timeout. The
+  /// reader-side staleness bound after a known write.
+  [[nodiscard]] bool wait_for_version(std::uint64_t version,
+                                      std::chrono::milliseconds timeout) const;
+
+  [[nodiscard]] const DomainSpec& domain() const { return dom_; }
+  [[nodiscard]] RegistryStats stats() const;
+
+ private:
+  DomainSpec dom_;
+  core::IncrementalEstimator* eng_ = nullptr;  ///< attached mode only
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Snapshot head_;
+  mutable RegistryStats stats_;
+};
+
+}  // namespace stkde::serve

@@ -61,3 +61,9 @@
 #include "model/advisor.hpp"
 #include "model/calibration.hpp"
 #include "model/cost_model.hpp"
+
+// Density-as-a-service (link stkde_serve for these).
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "serve/snapshot_registry.hpp"
+#include "serve/wire.hpp"

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "data/generator.hpp"
 #include "helpers.hpp"
+#include "serve/wire.hpp"
 #include "util/rng.hpp"
 
 namespace stkde {
@@ -106,6 +110,102 @@ TEST_P(FuzzMassTest, MassIsBoundedByKernelIntegral) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, FuzzMassTest,
                          ::testing::Range<std::uint64_t>(1, 15));
+
+// Serve wire decoder fuzz: truncations, bit flips, splices, and pure noise
+// against every frame family. The decoders' contract is an error return on
+// anything malformed — never UB, never an allocation beyond what the frame
+// itself justifies (the structured adversarial cases live in
+// serve_wire_test.cpp; this is the randomized wide net).
+
+/// One valid frame of every family, the mutation corpus.
+std::vector<serve::wire::Frame> wire_corpus() {
+  namespace w = serve::wire;
+  std::vector<w::Frame> out;
+  out.push_back(w::encode(w::QueryMessage{w::DensityAtQuery{
+      Point{1.5, -2.0, 3.25}}}));
+  out.push_back(w::encode(w::QueryMessage{w::RegionQuery{
+      Extent3{0, 8, 0, 8, 0, 8}, w::RegionOp::kSum}}));
+  out.push_back(w::encode(w::QueryMessage{w::SliceQuery{3}}));
+  out.push_back(w::encode(w::QueryMessage{w::HotspotsQuery{5, 0.9}}));
+  out.push_back(w::encode(w::QueryMessage{w::RegionGridQuery{
+      Extent3{1, 5, 1, 5, 1, 5}}}));
+  out.push_back(w::encode(w::ResponseMessage{w::DensityAtResponse{9, 0.5f}}));
+  out.push_back(w::encode(w::ResponseMessage{w::RegionResponse{
+      9, w::RegionOp::kMax, 2.5}}));
+  {
+    w::SliceResponse s;
+    s.version = 9;
+    s.t = 1;
+    s.field.nx = 3;
+    s.field.ny = 3;
+    s.field.values.assign(9, 0.25f);
+    out.push_back(w::encode(w::ResponseMessage{std::move(s)}));
+  }
+  out.push_back(w::encode(w::ResponseMessage{w::HotspotsResponse{
+      9, {serve::Hotspot{Voxel{1, 2, 3}, 0.5f, 1.5, 7}}}}));
+  {
+    w::RegionGridResponse g;
+    g.version = 9;
+    g.grid.allocate(Extent3{0, 4, 0, 3, 0, 5});
+    g.grid.fill(0.125f);
+    out.push_back(w::encode(w::ResponseMessage{std::move(g)}));
+  }
+  out.push_back(w::encode(w::ResponseMessage{w::ErrorResponse{
+      w::ErrorCode::kBadArgument, "fuzz"}}));
+  return out;
+}
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzTest, MutatedFramesNeverCrashTheDecoders) {
+  namespace w = serve::wire;
+  util::Xoshiro256 rng(GetParam() * 131 + 7);
+  const std::vector<w::Frame> corpus = wire_corpus();
+  // The decode itself is the assertion: any UB or unbounded allocation
+  // trips ASan/TSan/MemoryBudget; a sane build just sees nullopt or a
+  // harmless decode of a still-valid mutant.
+  const auto poke = [](const w::Frame& f) {
+    (void)w::decode_query(f.data(), f.size());
+    (void)w::decode_response(f.data(), f.size());
+  };
+  for (int round = 0; round < 200; ++round) {
+    w::Frame f = corpus[rng.below(corpus.size())];
+    switch (rng.below(4)) {
+      case 0:  // truncate
+        f.resize(rng.below(f.size() + 1));
+        break;
+      case 1:  // flip 1..8 random bits
+        for (std::uint64_t k = 1 + rng.below(8); k-- > 0 && !f.empty();)
+          f[rng.below(f.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      case 2: {  // splice the tail of another frame onto a prefix
+        const w::Frame& other = corpus[rng.below(corpus.size())];
+        const std::size_t cut = rng.below(f.size() + 1);
+        const std::size_t paste = rng.below(other.size() + 1);
+        f.resize(cut);
+        f.insert(f.end(), other.begin() + static_cast<std::ptrdiff_t>(paste),
+                 other.end());
+        break;
+      }
+      default: {  // pure noise, sometimes with a valid magic prefix
+        f.assign(rng.below(64), 0);
+        for (auto& b : f) b = static_cast<std::uint8_t>(rng.below(256));
+        if (f.size() >= 4 && rng.below(2) == 0) {
+          f[0] = 'S';
+          f[1] = 'K';
+          f[2] = 'W';
+          f[3] = '1';
+        }
+        break;
+      }
+    }
+    poke(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, WireFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace stkde

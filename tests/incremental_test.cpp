@@ -275,6 +275,81 @@ TEST(Incremental, DensityAtMatchesSnapshot) {
   EXPECT_FLOAT_EQ(inc.density_at(v), snap.at(v.x, v.y, v.t));
 }
 
+// Regression for the serve-layer straddle bug: density_at() used to re-read
+// the freshest publish on every call, so two probes in one logical request
+// could straddle a publish and see inconsistent (raw, n) pairs. Reads must
+// go through one pinned state.
+TEST(Incremental, PinnedReadsNeverStraddleAPublish) {
+  const auto t = make_tiny(1, 3, 2);
+  const Point p0{12.0, 10.0, 8.0};
+  const Point far{2.0, 2.0, 2.0};
+  const VoxelMapper map(t.domain);
+  const Voxel v0 = map.voxel_of(p0);
+
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(PointSet{p0});
+  const float c0 = inc.density_at(v0);
+  ASSERT_GT(c0, 0.0f);
+
+  const ReaderPin pin = inc.pin();
+  ASSERT_TRUE(pin.valid());
+  EXPECT_EQ(pin.live(), 1u);
+  const std::uint64_t seq0 = pin.seq();
+
+  // Publish three more events far from v0: raw at v0 is untouched, but the
+  // normalizer becomes 4, so the *live* density at v0 drops to c0/4.
+  inc.add(PointSet{far, far, far});
+  EXPECT_NEAR(inc.density_at(v0), c0 / 4.0f, 1e-6f * c0);
+
+  // The pin still answers from its own version: same seq, same n, same
+  // density — n and raw can never come from different publishes.
+  EXPECT_EQ(pin.seq(), seq0);
+  EXPECT_EQ(pin.live(), 1u);
+  EXPECT_FLOAT_EQ(pin.density_at(v0), c0);
+  EXPECT_FLOAT_EQ(static_cast<float>(
+                      static_cast<double>(pin.raw().at(v0.x, v0.y, v0.t)) *
+                      pin.norm()),
+                  c0);
+}
+
+TEST(Incremental, DensityAtOutsideGridIsZero) {
+  const auto t = make_tiny(20, 3, 2);
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(t.points);
+  EXPECT_FLOAT_EQ(inc.density_at(Voxel{-5, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(inc.density_at(Voxel{0, 0, 1 << 20}), 0.0f);
+}
+
+TEST(Incremental, PublishHookSeesEveryConsistentPublish) {
+  const auto t = make_tiny(1, 3, 2);
+  const Point p0{12.0, 10.0, 8.0};
+  const VoxelMapper map(t.domain);
+  const Voxel v0 = map.voxel_of(p0);
+
+  IncrementalEstimator inc(t.domain, t.params);
+  inc.add(PointSet{p0});
+  const float c0 = inc.density_at(v0);
+
+  std::uint64_t calls = 0;
+  std::uint64_t last_seq = 0;
+  int violations = 0;
+  inc.set_publish_hook([&](const ReaderPin& pin) {
+    ++calls;
+    if (pin.seq() <= last_seq) ++violations;  // seqs strictly increase
+    last_seq = pin.seq();
+    // Identical-point stream: every consistent state has density c0 at v0.
+    if (std::abs(pin.density_at(v0) - c0) > 1e-3f * c0) ++violations;
+  });
+  const std::uint64_t before = inc.stats().publishes;
+  for (int i = 0; i < 5; ++i) inc.add(PointSet(8, p0));
+  inc.checkpoint();
+  EXPECT_EQ(calls, inc.stats().publishes - before);
+  EXPECT_EQ(violations, 0);
+  inc.set_publish_hook(nullptr);
+  inc.add(PointSet(8, p0));
+  EXPECT_EQ(calls, 6u);  // detached: no further calls
+}
+
 TEST(Incremental, EmptyStreamProbes) {
   const auto t = make_tiny(1, 2, 1);
   IncrementalEstimator inc(t.domain, t.params);
