@@ -1,0 +1,254 @@
+#include "core/durability.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "io/grid_io.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace stkde::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kCkptMagic[8] = {'S', 'T', 'K', 'D', 'E', 'C', 'P', '1'};
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::vector<std::uint8_t>& b, double v) {
+  put_u64(b, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Write + flush + fsync + close \p bytes at \p path; throws on failure.
+void write_file_durably(const std::string& path,
+                        const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("durability: cannot write " + path);
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+#ifndef _WIN32
+  const bool synced = ok && ::fsync(::fileno(f)) == 0;
+#else
+  const bool synced = ok;
+#endif
+  std::fclose(f);
+  if (!ok || !synced)
+    throw std::runtime_error("durability: write failed on " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("durability: cannot read " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(end > 0 ? end : 0));
+  const bool ok =
+      buf.empty() || std::fread(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("durability: short read on " + path);
+  return buf;
+}
+
+}  // namespace
+
+DurableLog::DurableLog(std::string dir, io::WalSync sync)
+    : dir_(std::move(dir)), sync_(sync) {
+  if (dir_.empty())
+    throw std::invalid_argument("DurableLog: empty directory");
+  fs::create_directories(dir_);
+  // Prior state = a committed checkpoint, or any WAL holding more than its
+  // magic. Either means this directory belongs to an earlier incarnation;
+  // appending before recover() would interleave two histories.
+  if (fs::exists(ckpt_path())) has_prior_state_ = true;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal.", 0) == 0 && entry.is_regular_file() &&
+        entry.file_size() > 8)
+      has_prior_state_ = true;
+  }
+}
+
+DurableLog::~DurableLog() = default;
+
+std::string DurableLog::wal_path(std::uint64_t gen) const {
+  return dir_ + "/wal." + std::to_string(gen) + ".log";
+}
+
+std::string DurableLog::ckpt_path() const { return dir_ + "/checkpoint.ck"; }
+
+std::string DurableLog::tmp_path() const { return dir_ + "/checkpoint.tmp"; }
+
+void DurableLog::ensure_appender() {
+  if (has_prior_state_)
+    throw std::logic_error(
+        "DurableLog: directory has prior state; call recover() or "
+        "reset_dir() first");
+  if (!wal_)
+    wal_ = std::make_unique<io::WalWriter>(wal_path(gen_), sync_);
+}
+
+void DurableLog::append(const io::WalRecord& rec) {
+  ensure_appender();
+  wal_->append(rec);
+}
+
+void DurableLog::checkpoint(std::uint64_t last_seq, double last_cutoff,
+                            const PointSet& live, const DensityGrid& grid) {
+  STKDE_FAILPOINT("durable.checkpoint");
+  ensure_appender();  // asserts the no-prior-state invariant
+  const std::uint64_t next_gen = gen_ + 1;
+
+  // Assemble the full file (checkpoints are grid-sized; the copy is the
+  // price of a single-pass CRC and a single durable write).
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), kCkptMagic, kCkptMagic + sizeof(kCkptMagic));
+  put_u64(bytes, next_gen);
+  put_u64(bytes, last_seq);
+  put_f64(bytes, last_cutoff);
+  put_u64(bytes, live.size());
+  for (const Point& p : live) {
+    put_f64(bytes, p.x);
+    put_f64(bytes, p.y);
+    put_f64(bytes, p.t);
+  }
+  std::ostringstream gout(std::ios::binary);
+  io::save_grid(gout, grid);
+  const std::string gbytes = gout.str();
+  bytes.insert(bytes.end(), gbytes.begin(), gbytes.end());
+  const std::uint32_t crc =
+      util::crc32(bytes.data() + sizeof(kCkptMagic),
+                  bytes.size() - sizeof(kCkptMagic));
+  for (int i = 0; i < 4; ++i)
+    bytes.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+
+  write_file_durably(tmp_path(), bytes);
+  // The next generation's log must exist before the commit: after the
+  // rename, recovery looks for wal.<next_gen> and must find a valid
+  // (possibly empty) file, not ENOENT.
+  { io::WalWriter fresh(wal_path(next_gen), sync_, /*truncate=*/true); }
+
+  STKDE_FAILPOINT("durable.checkpoint.commit");
+  fs::rename(tmp_path(), ckpt_path());  // the atomic commit point
+
+  // Post-commit bookkeeping: swap the appender, drop the superseded log.
+  wal_ = std::make_unique<io::WalWriter>(wal_path(next_gen), sync_);
+  std::error_code ec;
+  fs::remove(wal_path(gen_), ec);
+  gen_ = next_gen;
+}
+
+DurableLog::Recovered DurableLog::recover() {
+  Recovered r;
+  if (fs::exists(ckpt_path())) {
+    const std::vector<std::uint8_t> bytes = read_file(ckpt_path());
+    constexpr std::size_t kFixed = sizeof(kCkptMagic) + 8 + 8 + 8 + 8;
+    if (bytes.size() < kFixed + 4 ||
+        std::memcmp(bytes.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
+      throw std::runtime_error("durability: corrupt checkpoint (header) in " +
+                               dir_);
+    const std::uint32_t want = get_u32(bytes.data() + bytes.size() - 4);
+    const std::uint32_t got =
+        util::crc32(bytes.data() + sizeof(kCkptMagic),
+                    bytes.size() - sizeof(kCkptMagic) - 4);
+    if (want != got)
+      throw std::runtime_error("durability: corrupt checkpoint (CRC) in " +
+                               dir_);
+    const std::uint8_t* p = bytes.data() + sizeof(kCkptMagic);
+    r.gen = get_u64(p);
+    r.last_seq = get_u64(p + 8);
+    r.last_cutoff = get_f64(p + 16);
+    const std::uint64_t n = get_u64(p + 24);
+    const std::size_t points_bytes = static_cast<std::size_t>(n) * 24;
+    if (bytes.size() < kFixed + points_bytes + 4)
+      throw std::runtime_error("durability: corrupt checkpoint (points) in " +
+                               dir_);
+    p += 32;
+    r.live.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i, p += 24)
+      r.live.push_back(Point{get_f64(p), get_f64(p + 8), get_f64(p + 16)});
+    std::istringstream gin(
+        std::string(reinterpret_cast<const char*>(p),
+                    bytes.size() - 4 - static_cast<std::size_t>(
+                                           p - bytes.data())),
+        std::ios::binary);
+    r.grid = io::load_grid(gin);  // throws on a bad grid payload
+    r.have_checkpoint = true;
+    gen_ = r.gen;
+  } else {
+    gen_ = 0;
+  }
+
+  const std::string wpath = wal_path(gen_);
+  io::WalReplay rep = io::read_wal(wpath);
+  if (rep.torn) {
+    r.torn = true;
+    r.truncated_bytes = rep.file_bytes - rep.valid_bytes;
+    io::truncate_wal(wpath, rep.valid_bytes);
+  }
+  r.tail = std::move(rep.records);
+
+  has_prior_state_ = false;
+  wal_.reset();
+  ensure_appender();
+  return r;
+}
+
+void DurableLog::reset_dir(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal.", 0) == 0 || name.rfind("checkpoint.", 0) == 0)
+      fs::remove(entry.path(), ec);
+  }
+}
+
+std::uint64_t DurableLog::wal_records() const {
+  return wal_ ? wal_->records() : 0;
+}
+
+std::uint64_t DurableLog::wal_synced() const {
+  return wal_ ? wal_->synced_records() : 0;
+}
+
+std::uint64_t DurableLog::wal_bytes() const {
+  return wal_ ? wal_->bytes() : 0;
+}
+
+}  // namespace stkde::core

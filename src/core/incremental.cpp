@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/detail/common.hpp"
@@ -12,6 +13,7 @@
 #include "partition/binning.hpp"
 #include "partition/tile_order.hpp"
 #include "sched/thread_pool.hpp"
+#include "util/failpoint.hpp"
 
 namespace stkde::core {
 
@@ -45,12 +47,19 @@ IncrementalEstimator::IncrementalEstimator(const DomainSpec& dom,
       Ht_(dom.temporal_bandwidth_voxels(params.ht)),
       bucket_w_(resolve_bucket_width(cfg, params)),
       dec_(Decomposition::clamped(map_.dims(), spatial_tiles(cfg.tiles), Hs_,
-                                  Ht_)) {
+                                  Ht_)),
+      last_cutoff_(-std::numeric_limits<double>::infinity()) {
   params_.validate();
   if (!(bucket_w_ > 0.0))
     throw std::invalid_argument("StreamConfig: bucket_width must be > 0");
+  if (!(cfg_.admission_margin >= 0.0))
+    throw std::invalid_argument(
+        "StreamConfig: admission_margin must be >= 0");
   raw_.allocate(map_.dims());
   raw_.fill(0.0f);
+  if (!cfg_.durability.dir.empty())
+    dur_ = std::make_unique<DurableLog>(cfg_.durability.dir,
+                                        cfg_.durability.sync);
   if (cfg_.threads > 1) {
     pool_ = std::make_unique<sched::ThreadPool>(cfg_.threads);
     cache_pool_ = std::make_unique<kernels::TableCachePool>(
@@ -85,6 +94,7 @@ void IncrementalEstimator::mark_dirty(const PointSet& batch) {
 
 void IncrementalEstimator::apply_serial(const PointSet& batch, double scale,
                                         bool allow_tile) {
+  STKDE_FAILPOINT("stream.ingest.serial");
   const Extent3 whole = Extent3::whole(map_.dims());
   // Batches big enough to amortize the binning/sorting pass go through the
   // PB-TILE engine; the cache keys on exact offsets by default
@@ -110,6 +120,7 @@ void IncrementalEstimator::apply_serial(const PointSet& batch, double scale,
 }
 
 void IncrementalEstimator::apply_sharded(const PointSet& batch, double scale) {
+  STKDE_FAILPOINT("stream.ingest.sharded");
   // Owner bins, Morton-sorted per tile: each worker walks its tile in
   // scatter order, the same locality the PB-TILE engine gives the serial
   // path (reusing the partition/tile_order facility).
@@ -275,90 +286,394 @@ void IncrementalEstimator::collect_expired(double cutoff, PointSet& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Admission + quarantine
+
+void IncrementalEstimator::quarantine_event(const Point& p,
+                                            QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNonFinite:
+      ++stats_.quarantined_nonfinite;
+      health_.q_nonfinite.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QuarantineReason::kOutOfDomain:
+      ++stats_.quarantined_domain;
+      health_.q_domain.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QuarantineReason::kStale:
+      ++stats_.quarantined_stale;
+      health_.q_stale.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  std::lock_guard lk(quarantine_mu_);
+  if (quarantine_.size() >= cfg_.quarantine_capacity) {
+    if (!quarantine_.empty()) quarantine_.pop_front();
+    ++stats_.quarantine_dropped;
+    health_.q_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.quarantine_capacity == 0) return;
+  }
+  quarantine_.push_back(QuarantinedEvent{p, reason});
+}
+
+PointSet IncrementalEstimator::admit(const PointSet& batch,
+                                     bool count_stale_as_dead) {
+  PointSet ok;
+  ok.reserve(batch.size());
+  const double ms = cfg_.admission_margin * params_.hs;
+  const double mt = cfg_.admission_margin * params_.ht;
+  const double xlo = dom_.x0 - ms, xhi = dom_.x0 + dom_.gx + ms;
+  const double ylo = dom_.y0 - ms, yhi = dom_.y0 + dom_.gy + ms;
+  const double tlo = dom_.t0 - mt, thi = dom_.t0 + dom_.gt + mt;
+  for (const Point& p : batch) {
+    if (!(std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.t))) {
+      quarantine_event(p, QuarantineReason::kNonFinite);
+    } else if (p.x < xlo || p.x > xhi || p.y < ylo || p.y > yhi ||
+               p.t < tlo || p.t > thi) {
+      quarantine_event(p, QuarantineReason::kOutOfDomain);
+    } else if (p.t < last_cutoff_) {
+      // The same phenomenon the legacy path counted as dead_on_arrival —
+      // keep that counter's meaning and additionally track the event.
+      if (count_stale_as_dead) ++stats_.dead_on_arrival;
+      quarantine_event(p, QuarantineReason::kStale);
+    } else {
+      ok.push_back(p);
+    }
+  }
+  return ok;
+}
+
+std::vector<QuarantinedEvent> IncrementalEstimator::quarantine() const {
+  std::lock_guard lk(quarantine_mu_);
+  return {quarantine_.begin(), quarantine_.end()};
+}
+
+EngineHealth IncrementalEstimator::health() const {
+  EngineHealth h;
+  h.quarantined_nonfinite =
+      health_.q_nonfinite.load(std::memory_order_relaxed);
+  h.quarantined_domain = health_.q_domain.load(std::memory_order_relaxed);
+  h.quarantined_stale = health_.q_stale.load(std::memory_order_relaxed);
+  h.quarantine_dropped = health_.q_dropped.load(std::memory_order_relaxed);
+  h.wal_records = health_.wal_records.load(std::memory_order_relaxed);
+  h.wal_synced = health_.wal_synced.load(std::memory_order_relaxed);
+  h.durable_checkpoints =
+      health_.durable_checkpoints.load(std::memory_order_relaxed);
+  h.poisoned = health_.poisoned.load(std::memory_order_relaxed);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
 // Streaming operations
 
-void IncrementalEstimator::add(const PointSet& batch) {
+void IncrementalEstimator::ensure_writable() const {
+  if (poisoned_)
+    throw std::logic_error(
+        "IncrementalEstimator: poisoned by a simulated crash; build a fresh "
+        "estimator and recover() from the durable state");
+}
+
+template <typename F>
+void IncrementalEstimator::guarded(F&& op) {
+  ensure_writable();
+  used_ = true;
   try {
-    apply(batch, +1.0);
-  } catch (...) {
-    recover_staging();  // batch not yet indexed: discarded
+    op();
+  } catch (const util::InjectedCrash&) {
+    // Simulated process death: no rollback (a dead process performs none),
+    // refuse all further writes. Readers keep the last published snapshot.
+    poisoned_ = true;
+    health_.poisoned.store(true, std::memory_order_relaxed);
     throw;
   }
-  for (const Point& p : batch) index_add(p);
-  stats_.added += batch.size();
-  ++stats_.batches;
-  publish();
+}
+
+void IncrementalEstimator::log_batch(io::WalRecordType type,
+                                     std::uint64_t seq, double cutoff,
+                                     const PointSet& points) {
+  if (!dur_) return;
+  try {
+    dur_->append(io::WalRecord{type, seq, cutoff, points});
+  } catch (...) {
+    // The batch is already committed in memory; a log that lost it cannot
+    // be trusted for recovery. Fail stop rather than serve state the WAL
+    // will silently forget.
+    poisoned_ = true;
+    health_.poisoned.store(true, std::memory_order_relaxed);
+    throw;
+  }
+  ++stats_.wal_records;
+  refresh_wal_health();
+}
+
+void IncrementalEstimator::refresh_wal_health() {
+  health_.wal_records.store(stats_.wal_records, std::memory_order_relaxed);
+  // Records still exposed to replay: the current generation's unsynced
+  // appends. A durable checkpoint rotates the log, dropping lag to zero.
+  const std::uint64_t pending =
+      dur_ ? dur_->wal_records() - dur_->wal_synced() : 0;
+  health_.wal_synced.store(stats_.wal_records - pending,
+                           std::memory_order_relaxed);
+}
+
+void IncrementalEstimator::add(const PointSet& batch) {
+  guarded([&] {
+    STKDE_FAILPOINT("stream.add");
+    const PointSet admitted =
+        cfg_.admission ? admit(batch, /*count_stale_as_dead=*/true) : batch;
+    try {
+      apply(admitted, +1.0);
+    } catch (const util::InjectedCrash&) {
+      throw;  // crash-class: the guard poisons, no rollback
+    } catch (...) {
+      recover_staging();  // batch not yet indexed: discarded
+      throw;
+    }
+    for (const Point& p : admitted) index_add(p);
+    stats_.added += admitted.size();
+    ++stats_.batches;
+    // Log *after* the in-memory commit point: an error-return rollback
+    // above leaves no record, a crash below replays exactly this state.
+    log_batch(io::WalRecordType::kAdd, ++batch_seq_, 0.0, admitted);
+    publish();
+    maybe_durable_checkpoint(admitted.size());
+  });
 }
 
 std::size_t IncrementalEstimator::remove(const PointSet& batch) {
-  PointSet found;
-  found.reserve(batch.size());
-  for (const Point& p : batch) {
-    if (index_remove(p))
-      found.push_back(p);
-    else
-      ++stats_.remove_misses;
-  }
-  // The removals are committed in the index at this point; on a scatter
-  // failure the recovery rebuild keeps the grid consistent with them.
-  stats_.removed += found.size();
-  ++stats_.batches;
-  try {
-    retire_scatter(found);
-  } catch (...) {
-    recover_staging();
-    throw;
-  }
-  publish();
-  return found.size();
+  std::size_t n = 0;
+  guarded([&] {
+    PointSet found;
+    found.reserve(batch.size());
+    for (const Point& p : batch) {
+      if (index_remove(p))
+        found.push_back(p);
+      else
+        ++stats_.remove_misses;
+    }
+    // The removals are committed in the index at this point; on a scatter
+    // failure the recovery rebuild keeps the grid consistent with them.
+    stats_.removed += found.size();
+    ++stats_.batches;
+    // Log the instances actually found: replay removes exactly them, and
+    // misses never re-enter the history.
+    log_batch(io::WalRecordType::kRemove, ++batch_seq_, 0.0, found);
+    try {
+      retire_scatter(found);
+    } catch (const util::InjectedCrash&) {
+      throw;
+    } catch (...) {
+      recover_staging();
+      throw;
+    }
+    publish();
+    maybe_durable_checkpoint(found.size());
+    n = found.size();
+  });
+  return n;
 }
 
 std::size_t IncrementalEstimator::advance_window(const PointSet& incoming,
                                                  double cutoff) {
-  // Events already past the cutoff must never enter the grid: under the old
-  // arrival-order deque they were added and could never be popped, biasing
-  // the density permanently.
-  PointSet fresh;
-  fresh.reserve(incoming.size());
-  std::size_t dead = 0;
-  for (const Point& p : incoming) {
-    if (p.t < cutoff)
-      ++dead;
-    else
-      fresh.push_back(p);
-  }
-  stats_.dead_on_arrival += dead;
-  try {
-    apply(fresh, +1.0);
-  } catch (...) {
-    recover_staging();  // fresh not yet indexed: discarded
-    throw;
-  }
-  for (const Point& p : fresh) index_add(p);
-  stats_.added += fresh.size();
+  std::size_t out = 0;
+  guarded([&] {
+    STKDE_FAILPOINT("stream.advance");
+    last_cutoff_ = std::max(last_cutoff_, cutoff);
+    // Events already past the cutoff must never enter the grid: under the
+    // old arrival-order deque they were added and could never be popped,
+    // biasing the density permanently.
+    PointSet fresh;
+    std::size_t dead = 0;
+    if (cfg_.admission) {
+      const std::uint64_t dead_before = stats_.dead_on_arrival;
+      fresh = admit(incoming, /*count_stale_as_dead=*/true);
+      dead = static_cast<std::size_t>(stats_.dead_on_arrival - dead_before);
+    } else {
+      fresh.reserve(incoming.size());
+      for (const Point& p : incoming) {
+        if (p.t < cutoff)
+          ++dead;
+        else
+          fresh.push_back(p);
+      }
+      stats_.dead_on_arrival += dead;
+    }
+    try {
+      apply(fresh, +1.0);
+    } catch (const util::InjectedCrash&) {
+      throw;
+    } catch (...) {
+      recover_staging();  // fresh not yet indexed: discarded
+      throw;
+    }
+    for (const Point& p : fresh) index_add(p);
+    stats_.added += fresh.size();
 
-  PointSet expired;
-  collect_expired(cutoff, expired);
-  stats_.retired += expired.size();
-  ++stats_.batches;
-  try {
-    retire_scatter(expired);
-  } catch (...) {
-    recover_staging();
-    throw;
-  }
-  publish();
-  return expired.size() + dead;
+    PointSet expired;
+    collect_expired(cutoff, expired);
+    stats_.retired += expired.size();
+    ++stats_.batches;
+    // One record carries the whole slide: the admitted fresh set plus the
+    // cutoff; replay re-derives the expired set from the rebuilt index.
+    log_batch(io::WalRecordType::kAdvance, ++batch_seq_, cutoff, fresh);
+    try {
+      retire_scatter(expired);
+    } catch (const util::InjectedCrash&) {
+      throw;
+    } catch (...) {
+      recover_staging();
+      throw;
+    }
+    publish();
+    maybe_durable_checkpoint(fresh.size() + expired.size());
+    out = expired.size() + dead;
+  });
+  return out;
 }
 
 void IncrementalEstimator::checkpoint() {
-  try {
-    rebuild_from_index();
-  } catch (...) {
-    recover_staging();
-    throw;
+  guarded([&] {
+    try {
+      rebuild_from_index();
+    } catch (const util::InjectedCrash&) {
+      throw;
+    } catch (...) {
+      recover_staging();
+      throw;
+    }
+    publish();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL cadence, durable checkpoints, recovery
+
+PointSet IncrementalEstimator::collect_live() const {
+  PointSet live;
+  live.reserve(live_);
+  for (const auto& [key, vec] : buckets_)
+    live.insert(live.end(), vec.begin(), vec.end());
+  return live;
+}
+
+void IncrementalEstimator::maybe_durable_checkpoint(
+    std::size_t logged_events) {
+  if (!dur_ || cfg_.durability.checkpoint_events == 0) return;
+  events_since_durable_ += logged_events;
+  if (events_since_durable_ < cfg_.durability.checkpoint_events) return;
+  write_durable_checkpoint();
+}
+
+void IncrementalEstimator::write_durable_checkpoint() {
+  // A failure *before* the commit rename is recoverable (generation g and
+  // its WAL are untouched); a crash at/after the commit is the guard's
+  // poison case, and recovery reads generation g+1.
+  dur_->checkpoint(batch_seq_, last_cutoff_, collect_live(), raw_);
+  events_since_durable_ = 0;
+  ++stats_.durable_checkpoints;
+  health_.durable_checkpoints.fetch_add(1, std::memory_order_relaxed);
+  refresh_wal_health();
+}
+
+void IncrementalEstimator::durable_checkpoint() {
+  if (!dur_)
+    throw std::logic_error(
+        "IncrementalEstimator::durable_checkpoint: durability not "
+        "configured (StreamConfig::durability.dir)");
+  guarded([&] { write_durable_checkpoint(); });
+}
+
+void IncrementalEstimator::replay_record(const io::WalRecord& rec) {
+  switch (rec.type) {
+    case io::WalRecordType::kAdd: {
+      apply(rec.points, +1.0);
+      for (const Point& p : rec.points) index_add(p);
+      stats_.added += rec.points.size();
+      ++stats_.batches;
+      return;
+    }
+    case io::WalRecordType::kAdvance: {
+      last_cutoff_ = std::max(last_cutoff_, rec.cutoff);
+      apply(rec.points, +1.0);
+      for (const Point& p : rec.points) index_add(p);
+      stats_.added += rec.points.size();
+      PointSet expired;
+      collect_expired(rec.cutoff, expired);
+      stats_.retired += expired.size();
+      ++stats_.batches;
+      retire_scatter(expired);
+      return;
+    }
+    case io::WalRecordType::kRemove: {
+      PointSet found;
+      found.reserve(rec.points.size());
+      for (const Point& p : rec.points)
+        if (index_remove(p)) found.push_back(p);
+      stats_.removed += found.size();
+      ++stats_.batches;
+      retire_scatter(found);
+      return;
+    }
   }
+}
+
+RecoverReport IncrementalEstimator::recover() {
+  if (!dur_)
+    throw std::logic_error(
+        "IncrementalEstimator::recover: durability not configured "
+        "(StreamConfig::durability.dir)");
+  if (used_)
+    throw std::logic_error(
+        "IncrementalEstimator::recover: requires a fresh (never-ingested) "
+        "estimator");
+  used_ = true;
+  RecoverReport rep;
+  DurableLog::Recovered rec = dur_->recover();
+  rep.wal_torn = rec.torn;
+  rep.truncated_bytes = rec.truncated_bytes;
+  if (rec.have_checkpoint) {
+    const Extent3 want = raw_.extent();
+    const Extent3 got = rec.grid.extent();
+    if (got.xlo != want.xlo || got.xhi != want.xhi || got.ylo != want.ylo ||
+        got.yhi != want.yhi || got.tlo != want.tlo || got.thi != want.thi)
+      throw std::runtime_error(
+          "IncrementalEstimator::recover: checkpoint grid shape does not "
+          "match this domain");
+    raw_.copy_from(rec.grid);
+    for (const Point& p : rec.live) index_add(p);
+    batch_seq_ = rec.last_seq;
+    last_cutoff_ = std::max(last_cutoff_, rec.last_cutoff);
+    rep.checkpoint_loaded = true;
+  }
+  for (const io::WalRecord& r : rec.tail) {
+    if (r.seq <= batch_seq_) {
+      // Pre-checkpoint leftovers (a crash landed between WAL rotation
+      // steps); the checkpoint already contains their effect.
+      ++rep.skipped_records;
+      continue;
+    }
+    replay_record(r);
+    batch_seq_ = r.seq;
+    ++rep.batches_replayed;
+    rep.events_replayed += r.points.size();
+    ++stats_.replayed_batches;
+  }
+  rep.last_batch_seq = batch_seq_;
+  dirty_cur_ = Extent3::whole(map_.dims());
   publish();
+  refresh_wal_health();
+  return rep;
+}
+
+RecoverReport IncrementalEstimator::recover(const std::string& dir) {
+  if (dur_) {
+    if (dur_->dir() != dir)
+      throw std::logic_error(
+          "IncrementalEstimator::recover: durability already configured "
+          "for a different directory");
+  } else {
+    cfg_.durability.dir = dir;
+    dur_ = std::make_unique<DurableLog>(dir, cfg_.durability.sync);
+  }
+  return recover();
 }
 
 void IncrementalEstimator::retire_scatter(const PointSet& gone) {
@@ -394,6 +709,7 @@ void IncrementalEstimator::rebuild(bool serial_only) {
 }
 
 void IncrementalEstimator::rebuild_from_index() {
+  STKDE_FAILPOINT("stream.rebuild");
   rebuild(/*serial_only=*/false);
   ++stats_.checkpoints;
 }
@@ -423,6 +739,7 @@ IncrementalEstimator::BufferPool::take() {
 }
 
 void IncrementalEstimator::publish() {
+  STKDE_FAILPOINT("stream.publish");
   ++publish_seq_;
   dirty_history_.emplace_back(publish_seq_, dirty_cur_);
   constexpr std::size_t kDirtyHistory = 16;

@@ -51,6 +51,23 @@
 /// discarded; retirements/removals already recorded remain in effect.
 /// Readers keep the last published snapshot until the next successful
 /// operation publishes again.
+///
+/// Crash contract (docs/ROBUSTNESS.md): a util::InjectedCrash — the chaos
+/// suite's simulated process death — *poisons* the estimator: every later
+/// writer-side operation throws std::logic_error, readers keep the last
+/// published snapshot, and the stream continues only through a fresh
+/// estimator calling recover() against the durable state
+/// (StreamConfig::durability): the last durable checkpoint plus a WAL
+/// replay. Each batch is logged *after* its in-memory commit point with a
+/// monotone sequence number, so recover() reports last_batch_seq and an
+/// at-least-once feeder resumes from the next batch without duplicating
+/// any applied one.
+///
+/// Admission (StreamConfig::admission): incoming events with non-finite
+/// coordinates, positions farther than admission_margin × bandwidth
+/// outside the domain box, or timestamps older than the current window
+/// cutoff are never scattered; they land in a bounded quarantine ring
+/// with per-reason counters instead of corrupting the density.
 
 #include <atomic>
 #include <cstdint>
@@ -63,6 +80,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/durability.hpp"
 #include "core/result.hpp"
 #include "geom/domain.hpp"
 #include "geom/point.hpp"
@@ -101,6 +119,25 @@ struct StreamConfig {
   /// Tile point count that triggers a PD-REP replica split; 0 picks
   /// max(32, batch/(2*threads)) per batch.
   std::size_t replicate_threshold = 0;
+
+  /// Validate events at ingest and quarantine rejects (non-finite,
+  /// out-of-domain beyond the margin, older than the window cutoff)
+  /// instead of scattering them. false restores the legacy behavior
+  /// (only advance_window's own cutoff filter applies).
+  bool admission = true;
+
+  /// Out-of-domain tolerance in bandwidth multiples (hs spatially, ht
+  /// temporally). Events beyond it cannot touch any grid voxel, so the
+  /// default of one full bandwidth rejects exactly the zero-contribution
+  /// region.
+  double admission_margin = 1.0;
+
+  /// Capacity of the quarantine ring; the oldest entry is evicted (and
+  /// counted in stats().quarantine_dropped) when full.
+  std::size_t quarantine_capacity = 256;
+
+  /// WAL + durable checkpoints (core/durability.hpp); dir empty = off.
+  DurabilityConfig durability;
 };
 
 /// Writer-side counters (diagnostics for benches and dashboards).
@@ -117,6 +154,60 @@ struct StreamStats {
   std::uint64_t publishes = 0;        ///< snapshot states published
   std::uint64_t table_lookups = 0;    ///< tile-engine table-cache probes
   std::uint64_t table_fills = 0;      ///< probes that computed a table
+  std::uint64_t quarantined_nonfinite = 0;  ///< NaN/Inf coordinates refused
+  std::uint64_t quarantined_domain = 0;     ///< beyond-margin positions
+  std::uint64_t quarantined_stale = 0;      ///< older than the window cutoff
+  std::uint64_t quarantine_dropped = 0;     ///< ring evictions (overflow)
+  std::uint64_t wal_records = 0;            ///< batches logged to the WAL
+  std::uint64_t durable_checkpoints = 0;    ///< checkpoint files committed
+  std::uint64_t replayed_batches = 0;       ///< WAL records replayed
+};
+
+/// Why an incoming event was refused at admission.
+enum class QuarantineReason : std::uint8_t {
+  kNonFinite = 0,    ///< NaN or Inf coordinate
+  kOutOfDomain = 1,  ///< beyond admission_margin × bandwidth off the box
+  kStale = 2,        ///< timestamp older than the current window cutoff
+};
+
+/// One quarantined event (inspectable via quarantine()).
+struct QuarantinedEvent {
+  Point point{};
+  QuarantineReason reason = QuarantineReason::kNonFinite;
+};
+
+/// Reader-safe robustness counters: unlike StreamStats (a writer-side
+/// view), these are atomics mirrored on every mutation, so the serve
+/// layer's health endpoint can read them while ingest is running.
+struct EngineHealth {
+  std::uint64_t quarantined_nonfinite = 0;
+  std::uint64_t quarantined_domain = 0;
+  std::uint64_t quarantined_stale = 0;
+  std::uint64_t quarantine_dropped = 0;
+  std::uint64_t wal_records = 0;  ///< appended by this incarnation
+  std::uint64_t wal_synced = 0;   ///< of those, known fsynced
+  std::uint64_t durable_checkpoints = 0;
+  bool poisoned = false;
+
+  [[nodiscard]] std::uint64_t quarantined_total() const {
+    return quarantined_nonfinite + quarantined_domain + quarantined_stale;
+  }
+  /// Batches that would replay (not yet folded into a checkpoint or
+  /// fsynced); the health message's "WAL lag".
+  [[nodiscard]] std::uint64_t wal_lag() const {
+    return wal_records - wal_synced;
+  }
+};
+
+/// What recover() reconstructed (see the crash contract above).
+struct RecoverReport {
+  bool checkpoint_loaded = false;     ///< a durable checkpoint was restored
+  std::uint64_t batches_replayed = 0; ///< WAL records applied after it
+  std::uint64_t events_replayed = 0;  ///< points inside those records
+  std::uint64_t skipped_records = 0;  ///< stale (pre-checkpoint) records
+  std::uint64_t last_batch_seq = 0;   ///< resume feeding from +1
+  bool wal_torn = false;              ///< a torn tail was truncated
+  std::uint64_t truncated_bytes = 0;
 };
 
 /// A pinned, immutable published state. Every read through one ReaderPin
@@ -201,6 +292,44 @@ class IncrementalEstimator {
   /// Force a drift-control rebuild of the staging grid from the live set.
   void checkpoint();
 
+  // Durability / fault tolerance (docs/ROBUSTNESS.md). ------------------
+
+  /// Write a durable checkpoint now and rotate the WAL. Requires
+  /// StreamConfig::durability.dir; throws std::logic_error otherwise.
+  void durable_checkpoint();
+
+  /// Rebuild this (fresh, never-ingested) estimator from the durable
+  /// state in StreamConfig::durability.dir: restore the last checkpoint,
+  /// replay the WAL tail (truncating a torn tail first), and publish the
+  /// reconstructed state. An empty directory recovers to an empty stream,
+  /// so "recover-or-start" is one call. Throws std::runtime_error on a
+  /// corrupt checkpoint, std::logic_error on a used estimator.
+  RecoverReport recover();
+
+  /// Same, pointing durability at \p dir (for estimators constructed
+  /// without StreamConfig::durability).
+  RecoverReport recover(const std::string& dir);
+
+  /// True after a util::InjectedCrash (or any crash-class failure)
+  /// poisoned this estimator: writer-side operations now throw, readers
+  /// keep the last published snapshot. Recovery = a fresh estimator +
+  /// recover().
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// Monotone batch sequence number of the last committed batch; the
+  /// feeder's exactly-once resume point after recover().
+  [[nodiscard]] std::uint64_t batch_seq() const { return batch_seq_; }
+
+  /// The newest advance_window cutoff (admission's staleness watermark).
+  [[nodiscard]] double last_cutoff() const { return last_cutoff_; }
+
+  /// Snapshot of the quarantine ring (newest last). Thread-safe.
+  [[nodiscard]] std::vector<QuarantinedEvent> quarantine() const;
+
+  /// Reader-safe robustness counters (serve-layer health endpoint); safe
+  /// to call concurrently with the writer.
+  [[nodiscard]] EngineHealth health() const;
+
   /// Number of live events in the last published state (readable
   /// concurrently with the writer).
   [[nodiscard]] std::size_t live_count() const {
@@ -284,6 +413,31 @@ class IncrementalEstimator {
   /// Scatter a retired/removed set negatively — unless the drift counter
   /// says a checkpoint is due, in which case the rebuild subsumes it.
   void retire_scatter(const PointSet& gone);
+
+  /// Throws std::logic_error when poisoned (the crash contract).
+  void ensure_writable() const;
+  /// Run \p op under the poison guard: an InjectedCrash poisons the
+  /// estimator (no rollback — a dead process would not roll back either)
+  /// and rethrows; every other exception follows the failure contract the
+  /// op itself implements.
+  template <typename F>
+  void guarded(F&& op);
+  /// Admission filter: returns the admitted subset of \p batch and routes
+  /// rejects to the quarantine ring. \p count_stale_as_dead keeps
+  /// advance_window's historical dead_on_arrival accounting.
+  [[nodiscard]] PointSet admit(const PointSet& batch,
+                               bool count_stale_as_dead);
+  void quarantine_event(const Point& p, QuarantineReason reason);
+  /// Append one batch record to the WAL (no-op without durability) and
+  /// maybe trigger a durable checkpoint.
+  void log_batch(io::WalRecordType type, std::uint64_t seq, double cutoff,
+                 const PointSet& points);
+  void maybe_durable_checkpoint(std::size_t logged_events);
+  void write_durable_checkpoint();
+  /// Apply one WAL record during recover() (no publish, no re-logging).
+  void replay_record(const io::WalRecord& rec);
+  [[nodiscard]] PointSet collect_live() const;
+  void refresh_wal_health();
   /// Zero the staging grid and rescatter the live index (serial_only:
   /// no pool, no allocations — the exception-recovery path).
   void rebuild(bool serial_only);
@@ -318,6 +472,30 @@ class IncrementalEstimator {
   std::size_t live_ = 0;
   std::uint64_t retired_since_checkpoint_ = 0;
   StreamStats stats_;
+
+  // Fault-tolerance state (docs/ROBUSTNESS.md).
+  std::unique_ptr<DurableLog> dur_;  ///< null when durability is off
+  std::uint64_t batch_seq_ = 0;      ///< last committed batch sequence
+  double last_cutoff_;               ///< newest advance_window cutoff
+                                     ///< (-inf before the first advance)
+  std::uint64_t events_since_durable_ = 0;
+  bool poisoned_ = false;
+  bool used_ = false;  ///< any writer-side op ran (recover() gate)
+  mutable std::mutex quarantine_mu_;
+  std::deque<QuarantinedEvent> quarantine_;
+
+  /// health() mirror — atomics, because serve-side reads race the writer.
+  struct HealthAtomics {
+    std::atomic<std::uint64_t> q_nonfinite{0};
+    std::atomic<std::uint64_t> q_domain{0};
+    std::atomic<std::uint64_t> q_stale{0};
+    std::atomic<std::uint64_t> q_dropped{0};
+    std::atomic<std::uint64_t> wal_records{0};
+    std::atomic<std::uint64_t> wal_synced{0};
+    std::atomic<std::uint64_t> durable_checkpoints{0};
+    std::atomic<bool> poisoned{false};
+  };
+  HealthAtomics health_;
 
   PublishHook publish_hook_;  ///< writer-side subscriber (serve registry)
 

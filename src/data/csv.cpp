@@ -1,5 +1,6 @@
 #include "data/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,31 +8,49 @@
 namespace stkde::data {
 
 namespace {
-bool parse_row(const std::string& line, Point& p) {
+
+/// Row verdicts, ordered by the header heuristic's needs: only kBadToken
+/// (text that is not a number at all) can be a header; a row of parsable
+/// but non-finite numbers is data, and bad data.
+enum class RowStatus { kOk, kBadToken, kNonFinite };
+
+RowStatus parse_row(const std::string& line, Point& p) {
   std::istringstream ss(line);
   std::string cell;
   double v[3];
   for (int i = 0; i < 3; ++i) {
-    if (!std::getline(ss, cell, ',')) return false;
+    if (!std::getline(ss, cell, ',')) return RowStatus::kBadToken;
     try {
       std::size_t pos = 0;
       v[i] = std::stod(cell, &pos);
       // Allow trailing whitespace only.
       while (pos < cell.size()) {
-        if (!std::isspace(static_cast<unsigned char>(cell[pos]))) return false;
+        if (!std::isspace(static_cast<unsigned char>(cell[pos])))
+          return RowStatus::kBadToken;
         ++pos;
       }
     } catch (...) {
-      return false;
+      return RowStatus::kBadToken;
     }
+    // std::stod parses "nan"/"inf"; a non-finite coordinate would poison
+    // every kernel sum downstream, so it is malformed here.
+    if (!std::isfinite(v[i])) return RowStatus::kNonFinite;
   }
   p = Point{v[0], v[1], v[2]};
-  return true;
+  return RowStatus::kOk;
 }
+
+const char* reason_of(RowStatus s) {
+  return s == RowStatus::kNonFinite ? "non-finite coordinate"
+                                    : "unparsable cell";
+}
+
 }  // namespace
 
-PointSet read_csv(std::istream& in) {
+PointSet read_csv(std::istream& in, const CsvOptions& opts,
+                  CsvReport* report) {
   PointSet pts;
+  CsvReport rep;
   std::string line;
   std::size_t lineno = 0;
   bool first_data_line = true;
@@ -41,24 +60,43 @@ PointSet read_csv(std::istream& in) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     Point p;
-    if (!parse_row(line, p)) {
-      if (first_data_line) {
+    const RowStatus st = parse_row(line, p);
+    if (st != RowStatus::kOk) {
+      if (first_data_line && st == RowStatus::kBadToken) {
         first_data_line = false;  // header row
         continue;
       }
-      throw std::runtime_error("csv: malformed row at line " +
-                               std::to_string(lineno) + ": " + line);
+      first_data_line = false;
+      if (!opts.skip_bad_rows)
+        throw std::runtime_error("csv: " + std::string(reason_of(st)) +
+                                 " at line " + std::to_string(lineno) + ": " +
+                                 line);
+      ++rep.skipped;
+      if (rep.first_bad_line == 0) {
+        rep.first_bad_line = lineno;
+        rep.first_bad_reason = reason_of(st);
+      }
+      continue;
     }
     first_data_line = false;
     pts.push_back(p);
+    ++rep.rows;
   }
+  if (report) *report = rep;
   return pts;
 }
 
-PointSet read_csv_file(const std::string& path) {
+PointSet read_csv(std::istream& in) { return read_csv(in, CsvOptions{}); }
+
+PointSet read_csv_file(const std::string& path, const CsvOptions& opts,
+                       CsvReport* report) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("csv: cannot open " + path);
-  return read_csv(f);
+  return read_csv(f, opts, report);
+}
+
+PointSet read_csv_file(const std::string& path) {
+  return read_csv_file(path, CsvOptions{});
 }
 
 void write_csv(std::ostream& out, const PointSet& points) {

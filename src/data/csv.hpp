@@ -3,7 +3,17 @@
 /// CSV point I/O: "x,y,t" rows with an optional header. This is the bridge
 /// to real data — Dengue/eBird-style extracts geocoded to (lon, lat, day)
 /// load directly.
+///
+/// Real extracts are dirty: truncated rows, stray text, "NaN"/"inf" cells
+/// from upstream joins. The reader rejects all of these — a non-finite
+/// coordinate is as malformed as an unparsable one (std::stod happily
+/// parses "nan", and a NaN point would poison every downstream kernel
+/// sum). Strict mode (default) throws with the 1-based line number;
+/// skip-and-count mode (CsvOptions::skip_bad_rows) drops bad rows and
+/// reports them in CsvReport, the right posture for bulk historical loads
+/// where one corrupt row should not abort a million-row ingest.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -11,12 +21,36 @@
 
 namespace stkde::data {
 
+/// Reader policy.
+struct CsvOptions {
+  /// false (default): throw std::runtime_error at the first malformed or
+  /// non-finite row. true: skip such rows, counting them in CsvReport.
+  bool skip_bad_rows = false;
+};
+
+/// What a read saw — populated when a report pointer is passed.
+struct CsvReport {
+  std::size_t rows = 0;            ///< data rows accepted
+  std::size_t skipped = 0;         ///< malformed/non-finite rows dropped
+  std::size_t first_bad_line = 0;  ///< 1-based line of the first bad row (0 = clean)
+  std::string first_bad_reason;    ///< one-line diagnosis of that row
+};
+
 /// Parse "x,y,t" rows. Skips blank lines and lines starting with '#'.
-/// A first line that fails numeric parsing is treated as a header. Throws
-/// std::runtime_error (with the line number) on malformed rows.
+/// A first line that fails *token* parsing is treated as a header (a
+/// numeric-but-non-finite first row is data, and bad). Malformed rows
+/// follow \p opts: strict mode throws std::runtime_error naming the
+/// 1-based line number; skip mode counts them into \p report.
+[[nodiscard]] PointSet read_csv(std::istream& in, const CsvOptions& opts,
+                                CsvReport* report = nullptr);
+
+/// Strict-mode convenience (the historical signature).
 [[nodiscard]] PointSet read_csv(std::istream& in);
 
 /// Load from a file path; throws std::runtime_error if unreadable.
+[[nodiscard]] PointSet read_csv_file(const std::string& path,
+                                     const CsvOptions& opts,
+                                     CsvReport* report = nullptr);
 [[nodiscard]] PointSet read_csv_file(const std::string& path);
 
 /// Write "x,y,t" rows with a header line.

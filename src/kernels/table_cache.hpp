@@ -39,6 +39,7 @@
 #include "geom/voxel_mapper.hpp"
 #include "kernels/invariants.hpp"
 #include "kernels/kernels.hpp"
+#include "util/failpoint.hpp"
 
 namespace stkde::kernels {
 
@@ -238,6 +239,9 @@ class TableCachePool {
   };
 
   [[nodiscard]] Lease acquire() {
+    // Chaos site: models a cache-allocation failure inside a worker task;
+    // fires before the lock, so no lease or pool state is half-taken.
+    STKDE_FAILPOINT("cache.acquire");
     std::lock_guard lk(mu_);
     if (free_.empty()) {
       all_.push_back(std::make_unique<SpatialTableCache>(cfg_, hs_));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
+
 namespace stkde::sched {
 
 ThreadPool::ThreadPool(int threads) {
@@ -21,6 +23,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  // Chaos site: models task-queue exhaustion / allocation failure at
+  // submission; throws before the task is enqueued, so callers observe a
+  // clean "nothing ran" failure.
+  STKDE_FAILPOINT("pool.submit");
   {
     std::unique_lock lk(mu_);
     queue_.push_back(std::move(fn));

@@ -20,14 +20,19 @@ namespace stkde::serve {
 /// Execute one decoded query against \p session's pinned snapshot.
 /// Unservable arguments (slice t outside the grid, an empty region for a
 /// grid query, a quantile outside [0, 1]) come back as ErrorResponse
-/// {kBadArgument}; valid queries over empty/unpublished snapshots return
-/// zeros, not errors.
+/// {kBadArgument}. Data queries against a session whose registry has never
+/// published come back as ErrorResponse{kUnavailable} — a typed error, not
+/// a zero a caller could mistake for a density. HealthQuery is always
+/// answered, no matter the registry's state. Valid queries over a published
+/// but *empty* stream (n == 0) still return zeros — that is a real answer.
 [[nodiscard]] wire::ResponseMessage execute(const Session& session,
                                             const wire::QueryMessage& query);
 
 /// Frame in, frame out: decode, execute, encode. Malformed frames come
 /// back as an encoded ErrorResponse{kMalformed} carrying the decode
-/// reason; this function never throws on hostile input.
+/// reason; any exception escaping dispatch (fault injection included)
+/// becomes an encoded ErrorResponse{kInternal}. This function never throws:
+/// every request frame gets an answer frame.
 [[nodiscard]] wire::Frame serve_frame(const Session& session,
                                       const std::uint8_t* data,
                                       std::size_t size);

@@ -1,6 +1,7 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "analysis/clusters.hpp"
@@ -13,16 +14,62 @@ Session::Session(const SnapshotRegistry& registry, SessionConfig cfg)
       map_(registry.domain()),
       whole_(Extent3::whole(map_.dims())) {
   snap_ = reg_->pin();
+  classify();
 }
 
-std::uint64_t Session::begin_request() {
+BeginResult Session::classify() {
+  if (!snap_.valid()) {
+    state_ = SessionState::kNoData;
+    return {state_, 0};
+  }
+  state_ = SessionState::kFresh;
+  if (cfg_.stall_after.count() > 0 &&
+      reg_->publish_age() > cfg_.stall_after)
+    state_ = SessionState::kDegraded;
+  return {state_, snap_.version};
+}
+
+BeginResult Session::begin_request() {
   // One head_version() read, one comparison: the cheap path for a fresh
   // pin. A publish racing past between the check and a re-pin only makes
   // the new pin *fresher* than required.
   if (!snap_.valid() ||
       reg_->head_version() > snap_.version + cfg_.max_staleness)
     snap_ = reg_->pin();
-  return snap_.version;
+  return classify();
+}
+
+BeginResult Session::await_version(std::uint64_t version) {
+  const bool reached =
+      cfg_.request_deadline.count() > 0
+          ? reg_->wait_for_version_backoff(version, cfg_.request_deadline)
+          : reg_->head_version() >= version;
+  if (reached) {
+    snap_ = reg_->pin();
+    return classify();
+  }
+  // Deadline expired: degrade rather than fail. The last-good pin keeps
+  // serving; the state tells the caller their version never arrived.
+  classify();
+  if (state_ == SessionState::kFresh) state_ = SessionState::kDegraded;
+  return {state_, snap_.valid() ? snap_.version : 0};
+}
+
+SessionHealth Session::health() const {
+  SessionHealth h;
+  h.state = state_;
+  h.served_version = snap_.version;
+  h.head_version = reg_->head_version();
+  const auto age = reg_->publish_age();
+  h.staleness_ms =
+      age == std::chrono::milliseconds::max()
+          ? std::numeric_limits<std::uint64_t>::max()
+          : static_cast<std::uint64_t>(age.count());
+  const core::EngineHealth eh = reg_->engine_health();
+  h.quarantined = eh.quarantined_total();
+  h.quarantine_dropped = eh.quarantine_dropped;
+  h.wal_lag = eh.wal_lag();
+  return h;
 }
 
 Extent3 Session::clip(const Extent3& region) const {

@@ -18,6 +18,7 @@
 /// per reader thread; the registry behind it is the shared, thread-safe
 /// object.
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,47 @@ struct SessionConfig {
   /// begin_request() keeps the current pin while it is at most this many
   /// versions behind the registry head; 0 always re-pins to head.
   std::uint64_t max_staleness = 0;
+
+  /// Budget for await_version(): how long a request may block waiting for a
+  /// version the writer has not published yet. 0 (default) never blocks —
+  /// await_version degrades to a head check.
+  std::chrono::milliseconds request_deadline{0};
+
+  /// Writer-stall detector: when the registry's last publish is older than
+  /// this, begin_request() tags the request kDegraded — the session still
+  /// answers, from its last-good pin, but callers can see the data has
+  /// stopped advancing. 0 (default) disables the detector.
+  std::chrono::milliseconds stall_after{0};
+};
+
+/// How a request's pinned version relates to the live stream.
+enum class SessionState : std::uint8_t {
+  kFresh = 0,     ///< pin satisfies the staleness policy; writer is live
+  kDegraded = 1,  ///< serving last-good data: writer stalled or wait timed out
+  kNoData = 2,    ///< no version has ever been published
+};
+
+/// begin_request() / await_version() outcome: the version this request will
+/// be served from, and how trustworthy it is.
+struct BeginResult {
+  SessionState state = SessionState::kNoData;
+  std::uint64_t version = 0;
+
+  /// True when the session holds *some* valid snapshot (fresh or degraded);
+  /// false only before the registry's first publish.
+  [[nodiscard]] bool ok() const { return state != SessionState::kNoData; }
+};
+
+/// A session-eye view of service health, the payload behind the wire
+/// health endpoint: serving state plus the engine's robustness counters.
+struct SessionHealth {
+  SessionState state = SessionState::kNoData;
+  std::uint64_t served_version = 0;      ///< the session's current pin
+  std::uint64_t head_version = 0;        ///< registry head
+  std::uint64_t staleness_ms = 0;        ///< time since the last publish
+  std::uint64_t quarantined = 0;         ///< events rejected at admission
+  std::uint64_t quarantine_dropped = 0;  ///< quarantine-ring evictions
+  std::uint64_t wal_lag = 0;             ///< WAL records not yet fsync'd
 };
 
 /// One ranked density hotspot (a 26-connected super-threshold component).
@@ -49,8 +91,25 @@ class Session {
 
   /// Start a request: re-pin iff the held pin is more than
   /// cfg.max_staleness versions behind the head. Returns the version the
-  /// request will be served from.
-  std::uint64_t begin_request();
+  /// request will be served from plus its freshness state: kNoData before
+  /// the first publish, kDegraded when the writer-stall detector
+  /// (cfg.stall_after) says publishes have stopped, kFresh otherwise. A
+  /// degraded request still serves — from the last-good pin.
+  BeginResult begin_request();
+
+  /// Read-your-writes: block (bounded exponential backoff, at most
+  /// cfg.request_deadline) until the head reaches \p version, then pin it.
+  /// On timeout the session keeps its last-good pin and reports kDegraded —
+  /// graceful degradation rather than an error. With a zero deadline this
+  /// is a non-blocking head check.
+  BeginResult await_version(std::uint64_t version);
+
+  /// Serving state + engine robustness counters (quarantine, WAL lag) for
+  /// the wire health endpoint and dashboards.
+  [[nodiscard]] SessionHealth health() const;
+
+  /// State assigned by the last begin_request()/await_version().
+  [[nodiscard]] SessionState state() const { return state_; }
 
   /// The pinned snapshot (invalid until the registry's first publish).
   [[nodiscard]] const Snapshot& pinned() const { return snap_; }
@@ -89,11 +148,15 @@ class Session {
   /// \p region clipped to the served grid extent.
   [[nodiscard]] Extent3 clip(const Extent3& region) const;
 
+  /// Classify the current pin (stall detector included) into state_.
+  BeginResult classify();
+
   const SnapshotRegistry* reg_;
   SessionConfig cfg_;
   VoxelMapper map_;
   Extent3 whole_;
   Snapshot snap_;
+  SessionState state_ = SessionState::kNoData;
 };
 
 }  // namespace stkde::serve

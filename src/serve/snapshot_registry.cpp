@@ -10,6 +10,11 @@ SnapshotRegistry::SnapshotRegistry(const DomainSpec& dom) : dom_(dom) {
 
 SnapshotRegistry::SnapshotRegistry(core::IncrementalEstimator& eng)
     : dom_(eng.domain()), eng_(&eng) {
+  // The registry outlives no estimator it attaches to (it detaches in its
+  // destructor), so the captured reference stays valid for every call.
+  // Installed before the publish hook: once the hook is live, the writer
+  // thread may already be racing this constructor.
+  health_source_ = [&eng] { return eng.health(); };
   eng_->set_publish_hook([this](const core::ReaderPin& pin) {
     publish(Snapshot{pin.shared_raw(), pin.live(), pin.seq()});
   });
@@ -33,6 +38,8 @@ void SnapshotRegistry::publish(Snapshot s) {
     }
     head_ = std::move(s);
     ++stats_.published;
+    published_once_ = true;
+    last_publish_ = std::chrono::steady_clock::now();
   }
   cv_.notify_all();
 }
@@ -53,6 +60,46 @@ bool SnapshotRegistry::wait_for_version(
   std::unique_lock lk(mu_);
   return cv_.wait_for(lk, timeout,
                       [&] { return head_.version >= version; });
+}
+
+bool SnapshotRegistry::wait_for_version_backoff(
+    std::uint64_t version, std::chrono::milliseconds deadline) const {
+  const auto t_end = std::chrono::steady_clock::now() + deadline;
+  auto slice = std::chrono::milliseconds{1};
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (head_.version >= version) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= t_end) return false;
+    const auto wait = std::min<std::chrono::steady_clock::duration>(
+        slice, t_end - now);
+    cv_.wait_for(lk, wait, [&] { return head_.version >= version; });
+    slice = std::min(slice * 2, std::chrono::milliseconds{64});
+  }
+}
+
+std::chrono::milliseconds SnapshotRegistry::publish_age() const {
+  std::lock_guard lk(mu_);
+  if (!published_once_) return std::chrono::milliseconds::max();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - last_publish_);
+}
+
+void SnapshotRegistry::set_health_source(
+    std::function<core::EngineHealth()> source) {
+  std::lock_guard lk(mu_);
+  health_source_ = std::move(source);
+}
+
+core::EngineHealth SnapshotRegistry::engine_health() const {
+  std::function<core::EngineHealth()> src;
+  {
+    std::lock_guard lk(mu_);
+    src = health_source_;
+  }
+  // Invoked outside the registry lock: the source reads the estimator's
+  // relaxed health atomics and never re-enters the registry.
+  return src ? src() : core::EngineHealth{};
 }
 
 RegistryStats SnapshotRegistry::stats() const {

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -91,6 +92,26 @@ class SnapshotRegistry {
   [[nodiscard]] bool wait_for_version(std::uint64_t version,
                                       std::chrono::milliseconds timeout) const;
 
+  /// Same predicate, but waited in bounded-exponential-backoff slices
+  /// (1, 2, 4, ... capped at 64 ms): a missed notification — a writer
+  /// thread dead inside a failpoint, a publisher that never wakes waiters
+  /// again — cannot strand the reader past the deadline plus one slice.
+  /// The primitive behind Session::await_version's graceful degradation.
+  [[nodiscard]] bool wait_for_version_backoff(
+      std::uint64_t version, std::chrono::milliseconds deadline) const;
+
+  /// Time since the last publish() installed a head; milliseconds::max()
+  /// before the first publish. The writer-stall detector's input.
+  [[nodiscard]] std::chrono::milliseconds publish_age() const;
+
+  /// Wire a robustness-counter source for engine_health() (the attached
+  /// constructor installs the estimator's health() automatically).
+  void set_health_source(std::function<core::EngineHealth()> source);
+
+  /// Engine robustness counters via the health source; all-zero defaults
+  /// when no source is attached. Safe from reader threads.
+  [[nodiscard]] core::EngineHealth engine_health() const;
+
   [[nodiscard]] const DomainSpec& domain() const { return dom_; }
   [[nodiscard]] RegistryStats stats() const;
 
@@ -102,6 +123,9 @@ class SnapshotRegistry {
   mutable std::condition_variable cv_;
   Snapshot head_;
   mutable RegistryStats stats_;
+  bool published_once_ = false;
+  std::chrono::steady_clock::time_point last_publish_{};
+  std::function<core::EngineHealth()> health_source_;
 };
 
 }  // namespace stkde::serve

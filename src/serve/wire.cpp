@@ -226,11 +226,13 @@ Frame encode(const QueryMessage& msg) {
           put_u32(out, q.k);
           put_f64(out, q.quantile);
           return out;
-        } else {
-          static_assert(std::is_same_v<T, RegionGridQuery>);
+        } else if constexpr (std::is_same_v<T, RegionGridQuery>) {
           Frame out = begin_frame(MsgType::kRegionGridQuery);
           put_extent(out, q.region);
           return out;
+        } else {
+          static_assert(std::is_same_v<T, HealthQuery>);
+          return begin_frame(MsgType::kHealthQuery);  // empty payload
         }
       },
       msg);
@@ -283,6 +285,16 @@ Frame encode(const ResponseMessage& msg) {
           io::save_grid(payload, r.grid);
           const std::string bytes = payload.str();
           out.insert(out.end(), bytes.begin(), bytes.end());
+          return out;
+        } else if constexpr (std::is_same_v<T, HealthResponse>) {
+          Frame out = begin_frame(MsgType::kHealthResponse);
+          put_u64(out, r.version);
+          put_u64(out, r.head_version);
+          put_u8(out, static_cast<std::uint8_t>(r.state));
+          put_u64(out, r.staleness_ms);
+          put_u64(out, r.quarantined);
+          put_u64(out, r.quarantine_dropped);
+          put_u64(out, r.wal_lag);
           return out;
         } else {
           static_assert(std::is_same_v<T, ErrorResponse>);
@@ -339,6 +351,10 @@ std::optional<QueryMessage> decode_query_payload(MsgType type, Reader r,
       q.region = r.extent();
       if (r.fail || r.remaining() != 0) break;
       return q;
+    }
+    case MsgType::kHealthQuery: {
+      if (r.remaining() != 0) break;
+      return HealthQuery{};
     }
     default:
       set_error(error, "not a query frame");
@@ -434,6 +450,19 @@ std::optional<ResponseMessage> decode_response_payload(MsgType type, Reader r,
         break;  // memory budget, stream failure — reported as malformed
       }
       return ResponseMessage{std::move(m)};
+    }
+    case MsgType::kHealthResponse: {
+      HealthResponse m;
+      m.version = r.u64();
+      m.head_version = r.u64();
+      const std::uint8_t state = r.u8();
+      m.staleness_ms = r.u64();
+      m.quarantined = r.u64();
+      m.quarantine_dropped = r.u64();
+      m.wal_lag = r.u64();
+      if (r.fail || r.remaining() != 0 || state > 2) break;
+      m.state = static_cast<SessionState>(state);
+      return ResponseMessage{m};
     }
     case MsgType::kErrorResponse: {
       ErrorResponse m;

@@ -17,6 +17,7 @@
 ///   kSliceQuery       i32 t                                   (4 B)
 ///   kHotspotsQuery    u32 k, f64 quantile                     (12 B)
 ///   kRegionGridQuery  i32[6] extent                           (24 B)
+///   kHealthQuery      (empty)                                 (0 B)
 ///
 /// Response payloads (every response leads with the u64 snapshot version
 /// it was answered from):
@@ -28,6 +29,9 @@
 ///   kRegionGridResponse u64 version, then io/grid_io's dense grid payload
 ///                       verbatim (magic "STKDEG1\0", i32[6] extent,
 ///                       f32[volume] in T-innermost order)
+///   kHealthResponse     u64 version, u64 head_version, u8 state
+///                       (SessionState), u64 staleness_ms, u64 quarantined,
+///                       u64 quarantine_dropped, u64 wal_lag       (49 B)
 ///   kErrorResponse      u32 code (ErrorCode), u32 len, len message bytes
 ///
 /// Decoding never throws on malformed input and never allocates more than
@@ -60,11 +64,13 @@ enum class MsgType : std::uint16_t {
   kSliceQuery = 3,
   kHotspotsQuery = 4,
   kRegionGridQuery = 5,
+  kHealthQuery = 6,
   kDensityAtResponse = 129,
   kRegionResponse = 130,
   kSliceResponse = 131,
   kHotspotsResponse = 132,
   kRegionGridResponse = 133,
+  kHealthResponse = 134,
   kErrorResponse = 255,
 };
 
@@ -73,6 +79,8 @@ enum class RegionOp : std::uint8_t { kSum = 0, kMax = 1 };
 enum class ErrorCode : std::uint32_t {
   kMalformed = 1,    ///< frame failed to decode
   kBadArgument = 2,  ///< well-formed query with unservable arguments
+  kUnavailable = 3,  ///< no published version to answer from yet
+  kInternal = 4,     ///< unexpected server-side failure (fault injection)
 };
 
 // Queries --------------------------------------------------------------------
@@ -99,8 +107,12 @@ struct RegionGridQuery {
   Extent3 region{};
 };
 
+/// Service health probe: always answerable, even before the first publish
+/// and while the writer is stalled — that is its whole point.
+struct HealthQuery {};
+
 using QueryMessage = std::variant<DensityAtQuery, RegionQuery, SliceQuery,
-                                  HotspotsQuery, RegionGridQuery>;
+                                  HotspotsQuery, RegionGridQuery, HealthQuery>;
 
 // Responses ------------------------------------------------------------------
 
@@ -131,6 +143,18 @@ struct RegionGridResponse {
   DensityGrid grid;  ///< normalized densities over the clipped region
 };
 
+/// Wire image of SessionHealth: the serving state plus the engine's
+/// robustness counters (quarantine, WAL durability lag).
+struct HealthResponse {
+  std::uint64_t version = 0;       ///< the session's served (pinned) version
+  std::uint64_t head_version = 0;  ///< registry head
+  SessionState state = SessionState::kNoData;
+  std::uint64_t staleness_ms = 0;  ///< time since last publish (max = never)
+  std::uint64_t quarantined = 0;
+  std::uint64_t quarantine_dropped = 0;
+  std::uint64_t wal_lag = 0;
+};
+
 struct ErrorResponse {
   ErrorCode code = ErrorCode::kMalformed;
   std::string message;
@@ -138,7 +162,8 @@ struct ErrorResponse {
 
 using ResponseMessage =
     std::variant<DensityAtResponse, RegionResponse, SliceResponse,
-                 HotspotsResponse, RegionGridResponse, ErrorResponse>;
+                 HotspotsResponse, RegionGridResponse, HealthResponse,
+                 ErrorResponse>;
 
 // Encode / decode ------------------------------------------------------------
 

@@ -48,6 +48,13 @@
 #include "core/result.hpp"
 #include "core/weighted.hpp"
 
+// Fault tolerance: WAL + durable checkpoints, deterministic fault
+// injection (docs/ROBUSTNESS.md).
+#include "core/durability.hpp"
+#include "io/wal.hpp"
+#include "util/crc32.hpp"
+#include "util/failpoint.hpp"
+
 // Datasets, I/O, analysis, performance model.
 #include "analysis/clusters.hpp"
 #include "data/csv.hpp"

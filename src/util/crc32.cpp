@@ -1,0 +1,46 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace stkde::util {
+
+namespace {
+
+// Table-driven byte-at-a-time CRC over the reflected polynomial. Built once
+// at startup; 1 KiB, read-only afterwards.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  for (std::size_t i = 0; i < size; ++i)
+    state = t[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace stkde::util

@@ -1,0 +1,24 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame check
+/// used by the durability layer: every WAL record and checkpoint file
+/// carries a CRC so recovery can tell a torn tail or bit rot from real
+/// data instead of replaying garbage into the density grid.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stkde::util {
+
+/// One-shot CRC-32 of a byte range.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed chunks with the running value (start from
+/// crc32_init(), finish with crc32_final()). Lets the checkpoint writer
+/// checksum a multi-part file without concatenating it in memory.
+[[nodiscard]] std::uint32_t crc32_init();
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                         std::size_t size);
+[[nodiscard]] std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace stkde::util

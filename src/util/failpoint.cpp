@@ -1,0 +1,124 @@
+#include "util/failpoint.hpp"
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace stkde::util::failpoint {
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  SplitMix64 draw{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void arm(const std::string& site, const Spec& spec) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  SiteState& s = r.sites[site];
+  s.spec = spec;
+  s.armed = true;
+  s.hits = 0;
+  s.fires = 0;
+  s.draw = SplitMix64{spec.seed};
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  const auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.armed = false;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  for (auto& [name, s] : r.sites) s.armed = false;
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> sites() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, s] : r.sites) out.push_back(name);
+  return out;
+}
+
+void hit(const char* site) {
+  Action action = Action::kOff;
+  std::chrono::milliseconds delay{0};
+  {
+    Registry& r = registry();
+    std::lock_guard lk(r.mu);
+    SiteState& s = r.sites[site];
+    ++s.hits;
+    if (!s.armed || s.spec.action == Action::kOff) return;
+    if (s.spec.max_fires > 0 && s.fires >= s.spec.max_fires) return;
+    bool fire = false;
+    if (s.spec.after_hits > 0) {
+      fire = s.hits == s.spec.after_hits ||
+             // Keep firing past the Nth hit until max_fires is exhausted
+             // (unbounded specs model a persistently failing dependency).
+             (s.hits > s.spec.after_hits && s.spec.max_fires == 0);
+    } else if (s.spec.probability > 0.0) {
+      // 53-bit uniform draw from the site's private seeded stream.
+      const double u =
+          static_cast<double>(s.draw.next() >> 11) * 0x1.0p-53;
+      fire = u < s.spec.probability;
+    } else {
+      fire = true;
+    }
+    if (!fire) return;
+    ++s.fires;
+    action = s.spec.action;
+    delay = s.spec.delay;
+  }
+  // Act outside the registry lock: a sleeping or throwing site must not
+  // serialize other sites (or the test thread arming the next one).
+  switch (action) {
+    case Action::kError:
+      throw InjectedFault(site);
+    case Action::kCrash:
+      throw InjectedCrash(site);
+    case Action::kDelay:
+      std::this_thread::sleep_for(delay);
+      return;
+    case Action::kOff:
+      return;
+  }
+}
+
+}  // namespace stkde::util::failpoint

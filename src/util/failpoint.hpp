@@ -1,0 +1,121 @@
+#pragma once
+/// \file failpoint.hpp
+/// Deterministic fault injection for the chaos suite (docs/ROBUSTNESS.md).
+///
+/// Production code plants named *sites* with the STKDE_FAILPOINT(name)
+/// macro. In a normal build (`-DSTKDE_FAILPOINTS=OFF`, the default) the
+/// macro expands to nothing — zero code, zero branches, zero strings in the
+/// binary. With `-DSTKDE_FAILPOINTS=ON` every site consults a global
+/// registry; tests arm a site with a Spec and the site then *fires* an
+/// action:
+///
+///  - kError: throw util::InjectedFault. Models a recoverable failure
+///    (allocation failure, I/O error). Callers are expected to roll back
+///    and stay usable — the streaming engine's existing failure contract.
+///  - kCrash: throw util::InjectedCrash. Models process death without
+///    longjmp/abort: the component that catches it must *poison* itself
+///    (refuse further writes) so the test can only continue by recovering
+///    from durable state, exactly as a restarted process would.
+///  - kDelay: sleep. Models a stalled writer / slow disk; used to drive
+///    the serve layer's degraded mode deterministically.
+///
+/// Triggering is deterministic: `after_hits` fires on the Nth traversal
+/// after arming, `probability` draws from a SplitMix64 stream seeded per
+/// site — two runs with the same seed fire at the same hits. `max_fires`
+/// (default 1) makes a site one-shot so recovery replays do not re-crash.
+///
+/// Thread safety: sites are hit from worker threads (pool, cache); the
+/// registry serializes hit accounting with one mutex. Arming/disarming
+/// while another thread traverses the site is safe; the fire decision a
+/// traversal observes is whichever spec was installed when it locked.
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stkde::util {
+
+/// A recoverable injected failure (failpoint action kError).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at failpoint: " + site) {}
+};
+
+/// A simulated crash (failpoint action kCrash): the catching component must
+/// poison itself; only durable-state recovery continues the stream.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& site)
+      : std::runtime_error("injected crash at failpoint: " + site) {}
+};
+
+namespace failpoint {
+
+enum class Action : std::uint8_t {
+  kOff = 0,    ///< armed but never fires (probe mode: counts hits)
+  kError = 1,  ///< throw InjectedFault
+  kCrash = 2,  ///< throw InjectedCrash
+  kDelay = 3,  ///< sleep for Spec::delay
+};
+
+/// How an armed site decides to fire. Exactly one trigger applies per
+/// traversal: the Nth-hit rule when after_hits > 0, else the seeded
+/// probability draw when probability > 0, else every hit.
+struct Spec {
+  Action action = Action::kOff;
+  /// Fire on the Nth traversal after arming (1 = first); 0 = no hit rule.
+  std::uint64_t after_hits = 0;
+  /// Per-hit fire probability in [0, 1]; the draw stream is seeded, so
+  /// runs are reproducible. Ignored when after_hits > 0.
+  double probability = 0.0;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  /// Sleep duration for kDelay.
+  std::chrono::milliseconds delay{0};
+  /// Stop firing after this many fires; 0 = unlimited. Default one-shot:
+  /// recovery replays traverse the same sites and must not re-fire.
+  std::uint64_t max_fires = 1;
+};
+
+/// Arm \p site with \p spec. Resets the site's hit/fire counters — hit
+/// accounting is relative to the arming. Works in every build; in a
+/// no-failpoint build the spec simply never fires (no sites traverse).
+void arm(const std::string& site, const Spec& spec);
+
+/// Disarm one site / every site. Counters are kept until the next arm().
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Traversals of \p site since it was last armed (0 if never armed).
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+/// Fires of \p site since it was last armed.
+[[nodiscard]] std::uint64_t fires(const std::string& site);
+
+/// Every site name that has been traversed or armed, sorted.
+[[nodiscard]] std::vector<std::string> sites();
+
+/// True when the build compiles sites in (STKDE_FAILPOINTS=ON).
+[[nodiscard]] constexpr bool enabled() {
+#if defined(STKDE_FAILPOINTS) && STKDE_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Implementation of a site traversal; call through STKDE_FAILPOINT.
+void hit(const char* site);
+
+}  // namespace failpoint
+}  // namespace stkde::util
+
+#if defined(STKDE_FAILPOINTS) && STKDE_FAILPOINTS
+#define STKDE_FAILPOINT(site) ::stkde::util::failpoint::hit(site)
+#else
+#define STKDE_FAILPOINT(site) \
+  do {                        \
+  } while (false)
+#endif

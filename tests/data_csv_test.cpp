@@ -92,5 +92,88 @@ TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent/path/pts.csv"), std::runtime_error);
 }
 
+// std::stod happily parses "nan" and "inf" — a NaN point would poison every
+// kernel sum downstream, so the reader must treat non-finite rows as
+// malformed, with the line number in the error.
+TEST(Csv, NonFiniteRowsThrowWithLineNumber) {
+  for (const char* bad : {"1,nan,3", "inf,2,3", "1,2,-inf", "1,NaN,3"}) {
+    std::istringstream in(std::string("0,0,0\n") + bad + "\n");
+    try {
+      (void)read_csv(in);
+      FAIL() << "expected exception for row: " << bad;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// A parsable-but-non-finite FIRST row is data (and bad), not a header: the
+// header heuristic only forgives rows whose cells are not numbers at all.
+TEST(Csv, NonFiniteFirstRowIsNotAHeader) {
+  std::istringstream in("nan,nan,nan\n1,2,3\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+// Skip-and-count mode: a corrupted dengue-style extract (geocoded
+// lon/lat/day rows with truncated lines, stray text, and NaN cells mixed
+// in) loads every clean row and reports exactly what was dropped.
+TEST(Csv, SkipModeLoadsCorruptedDengueSample) {
+  std::stringstream feed;
+  feed.precision(17);  // lossless, as write_csv emits
+  feed << "lon,lat,day\n";  // header survives the heuristic
+  const DomainSpec cali{0, 0, 0, 3'000.0, 2'500.0, 60.0, 50.0, 1.0};
+  const PointSet clean = generate_uniform(cali, 200, 2024);
+  std::size_t emitted = 0, corrupted = 0;
+  for (const Point& p : clean) {
+    if (emitted % 17 == 5) {  // truncated row (interrupted write)
+      feed << p.x << ',' << p.y << '\n';
+      ++corrupted;
+    } else if (emitted % 17 == 11) {  // upstream join failure
+      feed << p.x << ",nan," << p.t << '\n';
+      ++corrupted;
+    } else if (emitted % 17 == 13) {  // stray text in a numeric column
+      feed << p.x << ",BORRADO," << p.t << '\n';
+      ++corrupted;
+    } else {
+      feed << p.x << ',' << p.y << ',' << p.t << '\n';
+    }
+    ++emitted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  CsvReport rep;
+  const PointSet loaded = read_csv(feed, CsvOptions{true}, &rep);
+  EXPECT_EQ(loaded.size(), clean.size() - corrupted);
+  EXPECT_EQ(rep.rows, loaded.size());
+  EXPECT_EQ(rep.skipped, corrupted);
+  EXPECT_GT(rep.first_bad_line, 1u);  // never the header line
+  EXPECT_FALSE(rep.first_bad_reason.empty());
+  // Every loaded row is one of the clean ones, in order.
+  std::size_t j = 0;
+  for (const Point& p : loaded) {
+    while (j < clean.size() && !(clean[j] == p)) ++j;
+    ASSERT_LT(j, clean.size());
+    ++j;
+  }
+
+  // The same sample in strict mode aborts on the first corrupt row.
+  std::stringstream again(feed.str());
+  EXPECT_THROW((void)read_csv(again), std::runtime_error);
+}
+
+// Skip mode still reports a clean file as clean.
+TEST(Csv, SkipModeCleanFileReportsZeroSkips) {
+  std::istringstream in("x,y,t\n1,2,3\n4,5,6\n");
+  CsvReport rep;
+  const PointSet pts = read_csv(in, CsvOptions{true}, &rep);
+  EXPECT_EQ(pts.size(), 2u);
+  EXPECT_EQ(rep.rows, 2u);
+  EXPECT_EQ(rep.skipped, 0u);
+  EXPECT_EQ(rep.first_bad_line, 0u);
+}
+
 }  // namespace
 }  // namespace stkde::data

@@ -1,0 +1,173 @@
+/// Failpoint registry unit tests (util/failpoint.hpp): arming semantics,
+/// trigger rules (Nth hit, seeded probability, one-shot max_fires), and the
+/// macro's behavior in both build flavors. The estimator-level chaos matrix
+/// lives in recovery_test.cpp; this file tests the injection machinery
+/// itself.
+
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace stkde::util {
+namespace {
+
+namespace fp = failpoint;
+
+/// Every test starts from a disarmed registry; the registry is global.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::disarm_all(); }
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(Failpoint, MacroIsANoOpWhenDisarmed) {
+  // Compiles and runs in both build flavors, never throws.
+  STKDE_FAILPOINT("fp.test.noop");
+  STKDE_FAILPOINT("fp.test.noop");
+  if (fp::enabled()) {
+    EXPECT_EQ(fp::hits("fp.test.noop"), 2u);
+  } else {
+    // OFF builds compile the site away entirely: no trace in the registry.
+    EXPECT_EQ(fp::hits("fp.test.noop"), 0u);
+  }
+}
+
+TEST_F(Failpoint, ArmingIsSafeInEveryBuild) {
+  // arm()/disarm() must work even in OFF builds (a test suite shared
+  // between flavors arms unconditionally and skips per-test).
+  fp::Spec spec;
+  spec.action = fp::Action::kError;
+  fp::arm("fp.test.unreached", spec);
+  fp::disarm("fp.test.unreached");
+  EXPECT_EQ(fp::fires("fp.test.unreached"), 0u);
+}
+
+TEST_F(Failpoint, FiresOnExactlyTheNthHit) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  fp::Spec spec;
+  spec.action = fp::Action::kError;
+  spec.after_hits = 3;
+  fp::arm("fp.test.nth", spec);
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.nth"));
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.nth"));
+  EXPECT_THROW(STKDE_FAILPOINT("fp.test.nth"), InjectedFault);
+  // One-shot by default: the 4th traversal passes clean.
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.nth"));
+  EXPECT_EQ(fp::hits("fp.test.nth"), 4u);
+  EXPECT_EQ(fp::fires("fp.test.nth"), 1u);
+}
+
+TEST_F(Failpoint, ArmResetsHitAccounting) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  fp::Spec spec;
+  spec.action = fp::Action::kError;
+  spec.after_hits = 2;
+  fp::arm("fp.test.rearm", spec);
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.rearm"));
+  fp::arm("fp.test.rearm", spec);  // counters back to zero
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.rearm"));
+  EXPECT_THROW(STKDE_FAILPOINT("fp.test.rearm"), InjectedFault);
+}
+
+TEST_F(Failpoint, CrashActionThrowsInjectedCrash) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  fp::Spec spec;
+  spec.action = fp::Action::kCrash;
+  spec.after_hits = 1;
+  fp::arm("fp.test.crash", spec);
+  EXPECT_THROW(STKDE_FAILPOINT("fp.test.crash"), InjectedCrash);
+  // InjectedCrash is not an InjectedFault: components can (must) tell the
+  // recoverable class from the fail-stop class.
+  fp::arm("fp.test.crash", spec);
+  try {
+    STKDE_FAILPOINT("fp.test.crash");
+    FAIL() << "expected InjectedCrash";
+  } catch (const InjectedFault&) {
+    FAIL() << "crash class caught as recoverable fault";
+  } catch (const InjectedCrash& e) {
+    EXPECT_NE(std::string(e.what()).find("fp.test.crash"), std::string::npos);
+  }
+}
+
+TEST_F(Failpoint, SeededProbabilityIsReproducible) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  auto run = [](std::uint64_t seed) {
+    fp::Spec spec;
+    spec.action = fp::Action::kError;
+    spec.probability = 0.2;
+    spec.seed = seed;
+    spec.max_fires = 0;  // unlimited: count every fire
+    fp::arm("fp.test.prob", spec);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 400; ++i) {
+      try {
+        STKDE_FAILPOINT("fp.test.prob");
+      } catch (const InjectedFault&) {
+        ++fired;
+      }
+    }
+    return fired;
+  };
+  const std::uint64_t a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);           // same seed, same fires
+  EXPECT_GT(a, 0u);          // p=0.2 over 400 draws: effectively certain
+  EXPECT_LT(a, 400u);
+  EXPECT_NE(a, c);           // different stream (with overwhelming odds)
+}
+
+TEST_F(Failpoint, MaxFiresBoundsRepeatedFiring) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  fp::Spec spec;
+  spec.action = fp::Action::kError;
+  spec.max_fires = 3;  // no hit rule, no probability: every hit fires
+  fp::arm("fp.test.maxfires", spec);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    try {
+      STKDE_FAILPOINT("fp.test.maxfires");
+    } catch (const InjectedFault&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(fp::fires("fp.test.maxfires"), 3u);
+  EXPECT_EQ(fp::hits("fp.test.maxfires"), 10u);
+}
+
+TEST_F(Failpoint, DelayActionSleepsWithoutThrowing) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  fp::Spec spec;
+  spec.action = fp::Action::kDelay;
+  spec.delay = std::chrono::milliseconds{30};
+  spec.after_hits = 1;
+  fp::arm("fp.test.delay", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(STKDE_FAILPOINT("fp.test.delay"));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds{25});
+}
+
+TEST_F(Failpoint, SitesListsTraversedSites) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  STKDE_FAILPOINT("fp.test.listed");
+  const auto names = fp::sites();
+  EXPECT_NE(std::find(names.begin(), names.end(), "fp.test.listed"),
+            names.end());
+}
+
+TEST_F(Failpoint, DisarmedSiteStillCountsHits) {
+  if (!fp::enabled()) GTEST_SKIP() << "requires -DSTKDE_FAILPOINTS=ON";
+  // Probe mode: traverse unarmed, read hits() — how the chaos matrix
+  // counts a site's traversals before planting a crash at the midpoint.
+  fp::Spec probe;  // action defaults to kOff
+  fp::arm("fp.test.probe", probe);
+  for (int i = 0; i < 5; ++i) STKDE_FAILPOINT("fp.test.probe");
+  EXPECT_EQ(fp::hits("fp.test.probe"), 5u);
+  EXPECT_EQ(fp::fires("fp.test.probe"), 0u);
+}
+
+}  // namespace
+}  // namespace stkde::util

@@ -155,7 +155,8 @@ TEST(ServeConcurrency, ReaderSessionsAgainstLiveShardedWriter) {
     const Extent3 box{2, 14, 2, 12, 1, 9};
     while (!stop.load(std::memory_order_acquire)) {
       const std::uint64_t head_before = reg.head_version();
-      const std::uint64_t v = session.begin_request();
+      const BeginResult begin = session.begin_request();
+      const std::uint64_t v = begin.version;
       if (v < last) monotone_violations.fetch_add(1);
       last = v;
       if (v + scfg.max_staleness < head_before)
@@ -176,6 +177,21 @@ TEST(ServeConcurrency, ReaderSessionsAgainstLiveShardedWriter) {
         const auto msg = wire::decode_response(resp.data(), resp.size());
         if (!msg) {
           decode_failures.fetch_add(1);
+          continue;
+        }
+        // Before the first publish the request is kNoData and every data
+        // query must answer a typed kUnavailable error — that error frame
+        // is this phase's "consistent" response. Once the request holds a
+        // version, responses must all carry it and never be errors.
+        if (const auto* err = std::get_if<wire::ErrorResponse>(&*msg)) {
+          const bool expected_unavailable =
+              !begin.ok() && err->code == wire::ErrorCode::kUnavailable;
+          if (!expected_unavailable) consistency_violations.fetch_add(1);
+          continue;
+        }
+        if (!begin.ok()) {
+          // A data answer from a request that held no version at all.
+          consistency_violations.fetch_add(1);
           continue;
         }
         const std::uint64_t resp_version = std::visit(

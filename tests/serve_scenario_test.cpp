@@ -114,8 +114,9 @@ void run_scenario(Scenario sc, const Extent3& probe_box) {
   const double tol = 1e-5 * static_cast<double>(peak);
 
   Session session(reg, SessionConfig{});
-  const std::uint64_t v = session.begin_request();
-  ASSERT_GT(v, 0u);
+  const BeginResult begin = session.begin_request();
+  ASSERT_EQ(begin.state, SessionState::kFresh);
+  ASSERT_GT(begin.version, 0u);
 
   // Whole-grid and sub-region aggregates.
   const Extent3 whole = ref.grid.extent();
@@ -164,7 +165,7 @@ void run_scenario(Scenario sc, const Extent3& probe_box) {
   ASSERT_TRUE(resp.has_value());
   const auto* gridresp = std::get_if<wire::RegionGridResponse>(&*resp);
   ASSERT_NE(gridresp, nullptr);
-  EXPECT_EQ(gridresp->version, v);
+  EXPECT_EQ(gridresp->version, begin.version);
   const Extent3 r = probe_box.intersect(whole);
   ASSERT_EQ(gridresp->grid.extent(), r);
   for (std::int32_t X = r.xlo; X < r.xhi; ++X)

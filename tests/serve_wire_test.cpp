@@ -85,6 +85,45 @@ TEST(ServeWireGolden, SliceQueryBytes) {
   EXPECT_EQ(f, expected);
 }
 
+TEST(ServeWireGolden, HealthQueryBytes) {
+  // The health probe carries no payload at all — answerable by a server in
+  // any state, which is its whole reason to exist.
+  const Frame f = encode(QueryMessage{HealthQuery{}});
+  const Frame expected = frame_of({
+      'S', 'K', 'W', '1',
+      0x06, 0x00,              // type = kHealthQuery
+      0x00, 0x00,              // reserved
+      0x00, 0x00, 0x00, 0x00,  // payload length = 0
+  });
+  EXPECT_EQ(f, expected);
+}
+
+TEST(ServeWireGolden, HealthResponseBytes) {
+  HealthResponse h;
+  h.version = 2;
+  h.head_version = 3;
+  h.state = SessionState::kDegraded;
+  h.staleness_ms = 500;
+  h.quarantined = 7;
+  h.quarantine_dropped = 1;
+  h.wal_lag = 4;
+  const Frame f = encode(ResponseMessage{h});
+  const Frame expected = frame_of({
+      'S', 'K', 'W', '1',
+      0x86, 0x00,              // type = kHealthResponse
+      0x00, 0x00,              // reserved
+      0x31, 0x00, 0x00, 0x00,  // payload length = 49
+      2, 0, 0, 0, 0, 0, 0, 0,  // version
+      3, 0, 0, 0, 0, 0, 0, 0,  // head_version
+      0x01,                    // state = kDegraded
+      0xF4, 0x01, 0, 0, 0, 0, 0, 0,  // staleness_ms = 500
+      7, 0, 0, 0, 0, 0, 0, 0,  // quarantined
+      1, 0, 0, 0, 0, 0, 0, 0,  // quarantine_dropped
+      4, 0, 0, 0, 0, 0, 0, 0,  // wal_lag
+  });
+  EXPECT_EQ(f, expected);
+}
+
 TEST(ServeWireGolden, ErrorResponseBytes) {
   const Frame f = encode(
       ResponseMessage{ErrorResponse{ErrorCode::kBadArgument, "no"}});
@@ -139,6 +178,11 @@ TEST(ServeWireRoundTrip, EveryQueryType) {
     ASSERT_NE(q, nullptr);
     EXPECT_EQ(q->region, in.region);
   }
+  {
+    const auto* q = decode_query_as<HealthQuery>(encode(QueryMessage{
+        HealthQuery{}}));
+    ASSERT_NE(q, nullptr);
+  }
 }
 
 TEST(ServeWireRoundTrip, EmptyExtentQueryIsLegal) {
@@ -173,6 +217,30 @@ TEST(ServeWireRoundTrip, ScalarResponses) {
     ASSERT_NE(m, nullptr);
     EXPECT_EQ(m->code, ErrorCode::kMalformed);
     EXPECT_EQ(m->message, "truncated frame");
+  }
+}
+
+TEST(ServeWireRoundTrip, HealthResponseAllStates) {
+  for (const SessionState s : {SessionState::kFresh, SessionState::kDegraded,
+                               SessionState::kNoData}) {
+    HealthResponse in;
+    in.version = 41;
+    in.head_version = 44;
+    in.state = s;
+    in.staleness_ms = ~0ull;  // "never published" sentinel survives the wire
+    in.quarantined = 123456789ull;
+    in.quarantine_dropped = 17;
+    in.wal_lag = 3;
+    const auto* m =
+        decode_response_as<HealthResponse>(encode(ResponseMessage{in}));
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->version, 41u);
+    EXPECT_EQ(m->head_version, 44u);
+    EXPECT_EQ(m->state, s);
+    EXPECT_EQ(m->staleness_ms, ~0ull);
+    EXPECT_EQ(m->quarantined, 123456789ull);
+    EXPECT_EQ(m->quarantine_dropped, 17u);
+    EXPECT_EQ(m->wal_lag, 3u);
   }
 }
 
@@ -285,7 +353,15 @@ std::vector<Frame> corpus() {
   out.push_back(encode(QueryMessage{SliceQuery{1}}));
   out.push_back(encode(QueryMessage{HotspotsQuery{4, 0.5}}));
   out.push_back(encode(QueryMessage{RegionGridQuery{Extent3{0, 2, 0, 2, 0, 2}}}));
+  out.push_back(encode(QueryMessage{HealthQuery{}}));
   out.push_back(encode(ResponseMessage{DensityAtResponse{1, 2.0f}}));
+  {
+    HealthResponse h;
+    h.version = 1;
+    h.head_version = 2;
+    h.state = SessionState::kFresh;
+    out.push_back(encode(ResponseMessage{h}));
+  }
   SliceResponse slice;
   slice.version = 1;
   slice.field.nx = 2;
@@ -348,6 +424,22 @@ TEST(ServeWireRobustness, QueryAndResponseNamespacesAreDisjoint) {
   EXPECT_EQ(err, "not a response frame");
   EXPECT_FALSE(decode_query(r.data(), r.size(), &err).has_value());
   EXPECT_EQ(err, "not a query frame");
+}
+
+TEST(ServeWireRobustness, BadHealthStateIsRejected) {
+  HealthResponse h;
+  h.state = SessionState::kFresh;
+  Frame f = encode(ResponseMessage{h});
+  // The state byte sits after version + head_version in the payload.
+  f[kHeaderBytes + 16] = 3;  // only 0/1/2 defined
+  EXPECT_FALSE(decode_response(f.data(), f.size()).has_value());
+}
+
+TEST(ServeWireRobustness, HealthQueryWithPayloadIsRejected) {
+  Frame f = encode(QueryMessage{HealthQuery{}});
+  f.push_back(0);  // stray payload byte
+  f[8] = 1;        // keep the declared length consistent with the frame
+  EXPECT_FALSE(decode_query(f.data(), f.size()).has_value());
 }
 
 TEST(ServeWireRobustness, BadRegionOpIsRejected) {
