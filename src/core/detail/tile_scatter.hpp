@@ -210,6 +210,10 @@ TileScatterStats scatter_tile_major_parallel(
   const std::int64_t nsub = tiles.count();
   kernels::TableCachePool cache_pool(
       kernels::TableCacheConfig{cfg.table_quant, cfg.cache_bytes}, Hs);
+  // Ordering contract: relaxed throughout — pure statistics accumulators
+  // with no cross-field invariants; the final loads happen after
+  // wait_idle()'s pool-mutex synchronization, which already orders every
+  // worker's writes before the reader.
   std::atomic<std::int64_t> tile_count{0}, entries{0}, cells{0}, span{0},
       nz{0};
 

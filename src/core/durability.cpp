@@ -8,13 +8,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/checked_io.hpp"
 #include "io/grid_io.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
-
-#ifndef _WIN32
-#include <unistd.h>
-#endif
 
 namespace stkde::core {
 
@@ -51,23 +48,21 @@ std::uint32_t get_u32(const std::uint8_t* p) {
   return v;
 }
 
-/// Write + flush + fsync + close \p bytes at \p path; throws on failure.
+/// Write + flush + fsync + close \p bytes at \p path; throws on failure
+/// (io/checked_io.hpp, so short writes carry errno's text).
 void write_file_durably(const std::string& path,
                         const std::vector<std::uint8_t>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr)
-    throw std::runtime_error("durability: cannot write " + path);
-  const bool ok =
-      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
-      std::fflush(f) == 0;
-#ifndef _WIN32
-  const bool synced = ok && ::fsync(::fileno(f)) == 0;
-#else
-  const bool synced = ok;
-#endif
+  if (f == nullptr) io::throw_io_error("durability", "open for write", path);
+  try {
+    io::checked_write(f, bytes.data(), bytes.size(), "durability", path);
+    io::checked_flush(f, "durability", path);
+    io::checked_fsync(f, "durability", path);
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
   std::fclose(f);
-  if (!ok || !synced)
-    throw std::runtime_error("durability: write failed on " + path);
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

@@ -29,6 +29,11 @@
 /// append until recover() has been called (or reset_dir() wiped it) — a
 /// fresh estimator silently interleaving new records into an old log is
 /// the one corruption this layer cannot detect after the fact.
+///
+/// Threading: DurableLog is single-writer by contract — it lives on the
+/// ingest thread, next to the WalWriter it owns (io/wal.hpp), and is
+/// deliberately unsynchronized. recover() runs before any concurrent
+/// activity starts. There is no lock-protected state here to annotate.
 
 #include <cstdint>
 #include <memory>

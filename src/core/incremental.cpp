@@ -304,7 +304,7 @@ void IncrementalEstimator::quarantine_event(const Point& p,
       health_.q_stale.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  std::lock_guard lk(quarantine_mu_);
+  util::LockGuard lk(quarantine_mu_);
   if (quarantine_.size() >= cfg_.quarantine_capacity) {
     if (!quarantine_.empty()) quarantine_.pop_front();
     ++stats_.quarantine_dropped;
@@ -342,7 +342,7 @@ PointSet IncrementalEstimator::admit(const PointSet& batch,
 }
 
 std::vector<QuarantinedEvent> IncrementalEstimator::quarantine() const {
-  std::lock_guard lk(quarantine_mu_);
+  util::LockGuard lk(quarantine_mu_);
   return {quarantine_.begin(), quarantine_.end()};
 }
 
@@ -723,7 +723,7 @@ void IncrementalEstimator::recover_staging() {
 // Publication (double-buffered reader snapshots)
 
 void IncrementalEstimator::BufferPool::put(std::unique_ptr<Published> b) {
-  std::lock_guard lk(mu);
+  util::LockGuard lk(mu);
   // A small cap: steady state alternates two buffers; slow readers may
   // briefly push a third.
   if (free.size() < 4) free.push_back(std::move(b));
@@ -731,7 +731,7 @@ void IncrementalEstimator::BufferPool::put(std::unique_ptr<Published> b) {
 
 std::unique_ptr<IncrementalEstimator::Published>
 IncrementalEstimator::BufferPool::take() {
-  std::lock_guard lk(mu);
+  util::LockGuard lk(mu);
   if (free.empty()) return nullptr;
   auto b = std::move(free.back());
   free.pop_back();
@@ -774,7 +774,7 @@ void IncrementalEstimator::publish() {
       });
   std::shared_ptr<const Published> old;
   {
-    std::lock_guard lk(pub_mu_);
+    util::LockGuard lk(pub_mu_);
     old = front_;
     front_ = sp;
   }
@@ -801,7 +801,7 @@ ReaderPin IncrementalEstimator::make_pin(
 
 std::shared_ptr<const IncrementalEstimator::Published>
 IncrementalEstimator::front() const {
-  std::lock_guard lk(pub_mu_);
+  util::LockGuard lk(pub_mu_);
   return front_;
 }
 

@@ -75,7 +75,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -87,6 +86,8 @@
 #include "geom/voxel_mapper.hpp"
 #include "grid/dense_grid.hpp"
 #include "partition/decomposition.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stkde::sched {
 class ThreadPool;
@@ -141,6 +142,11 @@ struct StreamConfig {
 };
 
 /// Writer-side counters (diagnostics for benches and dashboards).
+///
+/// Ordering contract: plain fields, no atomics — StreamStats belongs to
+/// the ingest thread alone. Reader threads must never touch it; the
+/// reader-safe mirror is EngineHealth via health(), whose atomics carry
+/// the cross-thread contract (see HealthAtomics).
 struct StreamStats {
   std::uint64_t batches = 0;          ///< add/remove/advance calls
   std::uint64_t added = 0;            ///< events scattered with + sign
@@ -179,6 +185,13 @@ struct QuarantinedEvent {
 /// Reader-safe robustness counters: unlike StreamStats (a writer-side
 /// view), these are atomics mirrored on every mutation, so the serve
 /// layer's health endpoint can read them while ingest is running.
+///
+/// Ordering contract: this is a *value snapshot* filled from the engine's
+/// HealthAtomics with relaxed loads. Each counter is independently
+/// monotone; fields may reflect slightly different instants of the same
+/// ingest run, and nothing here orders or publishes the density data
+/// itself (that is live_published_'s acquire/release pair). Treat the
+/// struct as dashboard telemetry, not as a synchronization point.
 struct EngineHealth {
   std::uint64_t quarantined_nonfinite = 0;
   std::uint64_t quarantined_domain = 0;
@@ -324,7 +337,8 @@ class IncrementalEstimator {
   [[nodiscard]] double last_cutoff() const { return last_cutoff_; }
 
   /// Snapshot of the quarantine ring (newest last). Thread-safe.
-  [[nodiscard]] std::vector<QuarantinedEvent> quarantine() const;
+  [[nodiscard]] std::vector<QuarantinedEvent> quarantine() const
+      STKDE_EXCLUDES(quarantine_mu_);
 
   /// Reader-safe robustness counters (serve-layer health endpoint); safe
   /// to call concurrently with the writer.
@@ -384,11 +398,11 @@ class IncrementalEstimator {
   /// happens-before chain that makes writer reuse race-free. Shared so
   /// snapshots handed to readers may outlive the estimator.
   struct BufferPool {
-    std::mutex mu;
-    std::vector<std::unique_ptr<Published>> free;
+    util::Mutex mu;
+    std::vector<std::unique_ptr<Published>> free STKDE_GUARDED_BY(mu);
 
-    void put(std::unique_ptr<Published> b);
-    [[nodiscard]] std::unique_ptr<Published> take();
+    void put(std::unique_ptr<Published> b) STKDE_EXCLUDES(mu);
+    [[nodiscard]] std::unique_ptr<Published> take() STKDE_EXCLUDES(mu);
   };
 
   /// 1/(hs^2 ht) — the raw-grid scale shared by every scatter path.
@@ -427,7 +441,8 @@ class IncrementalEstimator {
   /// advance_window's historical dead_on_arrival accounting.
   [[nodiscard]] PointSet admit(const PointSet& batch,
                                bool count_stale_as_dead);
-  void quarantine_event(const Point& p, QuarantineReason reason);
+  void quarantine_event(const Point& p, QuarantineReason reason)
+      STKDE_EXCLUDES(quarantine_mu_);
   /// Append one batch record to the WAL (no-op without durability) and
   /// maybe trigger a durable checkpoint.
   void log_batch(io::WalRecordType type, std::uint64_t seq, double cutoff,
@@ -443,8 +458,9 @@ class IncrementalEstimator {
   void rebuild(bool serial_only);
   void rebuild_from_index();
   void recover_staging();
-  void publish();
-  [[nodiscard]] std::shared_ptr<const Published> front() const;
+  void publish() STKDE_EXCLUDES(pub_mu_);
+  [[nodiscard]] std::shared_ptr<const Published> front() const
+      STKDE_EXCLUDES(pub_mu_);
   [[nodiscard]] static ReaderPin make_pin(std::shared_ptr<const Published> pub);
 
   DomainSpec dom_;
@@ -481,10 +497,22 @@ class IncrementalEstimator {
   std::uint64_t events_since_durable_ = 0;
   bool poisoned_ = false;
   bool used_ = false;  ///< any writer-side op ran (recover() gate)
-  mutable std::mutex quarantine_mu_;
-  std::deque<QuarantinedEvent> quarantine_;
+  mutable util::Mutex quarantine_mu_;
+  std::deque<QuarantinedEvent> quarantine_ STKDE_GUARDED_BY(quarantine_mu_);
 
   /// health() mirror — atomics, because serve-side reads race the writer.
+  ///
+  /// Ordering contract: every operation on these counters is
+  /// memory_order_relaxed, and relaxed suffices. Each field is an
+  /// independent monotone statistic — no reader derives an invariant from
+  /// *two* of them together, and no counter's value publishes any other
+  /// data (the density snapshot travels through pub_mu_ / live_published_,
+  /// never through health counters). A health() read may therefore see the
+  /// fields at slightly different instants, which is exactly the
+  /// dashboard-counter semantics documented on EngineHealth. Anything
+  /// stronger (acquire/release) would buy nothing and put a fence on the
+  /// ingest hot path. Keep new fields relaxed unless a reader starts
+  /// inferring cross-field invariants — then rethink the whole block.
   struct HealthAtomics {
     std::atomic<std::uint64_t> q_nonfinite{0};
     std::atomic<std::uint64_t> q_domain{0};
@@ -499,9 +527,15 @@ class IncrementalEstimator {
 
   PublishHook publish_hook_;  ///< writer-side subscriber (serve registry)
 
-  mutable std::mutex pub_mu_;  ///< guards the front_ pointer swap
-  std::shared_ptr<const Published> front_;  ///< last published (readers copy)
+  mutable util::Mutex pub_mu_;  ///< guards the front_ pointer swap
+  /// Last published state (readers copy the shared_ptr under pub_mu_).
+  std::shared_ptr<const Published> front_ STKDE_GUARDED_BY(pub_mu_);
   std::shared_ptr<BufferPool> snap_pool_ = std::make_shared<BufferPool>();
+  /// Ordering contract: store(release) in publish() pairs with
+  /// load(acquire) in live_count() — unlike the relaxed HealthAtomics,
+  /// this value *is* read together with the published grid (readers
+  /// normalize raw densities by it), so the pair must order the count
+  /// after the front_ installation it describes.
   std::atomic<std::size_t> live_published_{0};
 };
 

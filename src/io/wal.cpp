@@ -6,12 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/checked_io.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
-
-#ifndef _WIN32
-#include <unistd.h>
-#endif
 
 namespace stkde::io {
 
@@ -172,15 +169,16 @@ void truncate_wal(const std::string& path, std::uint64_t valid_bytes) {
 WalWriter::WalWriter(std::string path, WalSync sync, bool truncate)
     : path_(std::move(path)), sync_(sync) {
   f_ = std::fopen(path_.c_str(), truncate ? "wb" : "ab");
-  if (f_ == nullptr)
-    throw std::runtime_error("wal: cannot open " + path_ + " for append");
+  if (f_ == nullptr) throw_io_error("wal", "open for append", path_);
   std::fseek(f_, 0, SEEK_END);
   if (std::ftell(f_) == 0) {
-    if (std::fwrite(kMagic, 1, sizeof(kMagic), f_) != sizeof(kMagic) ||
-        std::fflush(f_) != 0) {
+    try {
+      checked_write(f_, kMagic, sizeof(kMagic), "wal", path_);
+      checked_flush(f_, "wal", path_);
+    } catch (...) {
       std::fclose(f_);
       f_ = nullptr;
-      throw std::runtime_error("wal: cannot initialize " + path_);
+      throw;
     }
   }
 }
@@ -202,18 +200,15 @@ void WalWriter::append(const WalRecord& rec) {
   // builds, which write each record with a single fwrite below.
   {
     const std::size_t half = b.size() / 2;
-    if (std::fwrite(b.data(), 1, half, f_) != half || std::fflush(f_) != 0)
-      throw std::runtime_error("wal: append failed on " + path_);
+    checked_write(f_, b.data(), half, "wal", path_);
+    checked_flush(f_, "wal", path_);
     STKDE_FAILPOINT("wal.append.torn");
-    if (std::fwrite(b.data() + half, 1, b.size() - half, f_) !=
-            b.size() - half ||
-        std::fflush(f_) != 0)
-      throw std::runtime_error("wal: append failed on " + path_);
+    checked_write(f_, b.data() + half, b.size() - half, "wal", path_);
+    checked_flush(f_, "wal", path_);
   }
 #else
-  if (std::fwrite(b.data(), 1, b.size(), f_) != b.size() ||
-      std::fflush(f_) != 0)
-    throw std::runtime_error("wal: append failed on " + path_);
+  checked_write(f_, b.data(), b.size(), "wal", path_);
+  checked_flush(f_, "wal", path_);
 #endif
   bytes_ += b.size();
   ++records_;
@@ -222,12 +217,8 @@ void WalWriter::append(const WalRecord& rec) {
 
 void WalWriter::sync() {
   STKDE_FAILPOINT("wal.sync");
-  if (std::fflush(f_) != 0)
-    throw std::runtime_error("wal: flush failed on " + path_);
-#ifndef _WIN32
-  if (::fsync(::fileno(f_)) != 0)
-    throw std::runtime_error("wal: fsync failed on " + path_);
-#endif
+  checked_flush(f_, "wal", path_);
+  checked_fsync(f_, "wal", path_);
   synced_ = records_;
 }
 

@@ -26,6 +26,12 @@
 /// the chaos suite abandoning a writer object — leaves the bytes visible
 /// to a fresh reader). WalSync::kBatch additionally fsyncs per append,
 /// the real-crash durability mode; kNone trusts the OS page cache.
+///
+/// Threading: WalWriter is deliberately unsynchronized — it has exactly one
+/// owner, the streaming engine's ingest thread (the single-writer contract
+/// core/durability.hpp inherits). There is no mutex to annotate; do not
+/// share a writer across threads. read_wal() operates on a closed file and
+/// is safe from any thread.
 
 #include <cstdint>
 #include <cstdio>
@@ -93,6 +99,11 @@ class WalWriter {
   [[nodiscard]] std::uint64_t records() const { return records_; }
   [[nodiscard]] std::uint64_t synced_records() const { return synced_; }
   [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+  /// Test-only: the underlying stream, so fault tests can sabotage it
+  /// (freopen read-only) and exercise the checked-write error path
+  /// (io/checked_io.hpp) without a real full disk.
+  [[nodiscard]] std::FILE* file_for_test() { return f_; }
 
  private:
   std::string path_;

@@ -33,13 +33,14 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "geom/voxel_mapper.hpp"
 #include "kernels/invariants.hpp"
 #include "kernels/kernels.hpp"
 #include "util/failpoint.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stkde::kernels {
 
@@ -238,11 +239,11 @@ class TableCachePool {
     SpatialTableCache* cache_;
   };
 
-  [[nodiscard]] Lease acquire() {
+  [[nodiscard]] Lease acquire() STKDE_EXCLUDES(mu_) {
     // Chaos site: models a cache-allocation failure inside a worker task;
     // fires before the lock, so no lease or pool state is half-taken.
     STKDE_FAILPOINT("cache.acquire");
-    std::lock_guard lk(mu_);
+    util::LockGuard lk(mu_);
     if (free_.empty()) {
       all_.push_back(std::make_unique<SpatialTableCache>(cfg_, hs_));
       free_.push_back(all_.back().get());
@@ -253,36 +254,38 @@ class TableCachePool {
   }
 
   /// Caches created so far (== peak concurrent leases).
-  [[nodiscard]] std::size_t cache_count() const {
-    std::lock_guard lk(mu_);
+  [[nodiscard]] std::size_t cache_count() const STKDE_EXCLUDES(mu_) {
+    util::LockGuard lk(mu_);
     return all_.size();
   }
 
   /// Aggregate counters over every cache; call only while no lease is live.
-  [[nodiscard]] std::int64_t lookups() const {
-    std::lock_guard lk(mu_);
+  [[nodiscard]] std::int64_t lookups() const STKDE_EXCLUDES(mu_) {
+    util::LockGuard lk(mu_);
     std::int64_t n = 0;
     for (const auto& c : all_) n += c->lookups();
     return n;
   }
-  [[nodiscard]] std::int64_t fills() const {
-    std::lock_guard lk(mu_);
+  [[nodiscard]] std::int64_t fills() const STKDE_EXCLUDES(mu_) {
+    util::LockGuard lk(mu_);
     std::int64_t n = 0;
     for (const auto& c : all_) n += c->fills();
     return n;
   }
 
  private:
-  void release(SpatialTableCache* c) {
-    std::lock_guard lk(mu_);
+  void release(SpatialTableCache* c) STKDE_EXCLUDES(mu_) {
+    util::LockGuard lk(mu_);
     free_.push_back(c);
   }
 
   TableCacheConfig cfg_;
   std::int32_t hs_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<SpatialTableCache>> all_;
-  std::vector<SpatialTableCache*> free_;
+  mutable util::Mutex mu_;
+  /// Every cache ever created; leased caches stay here (ownership) while
+  /// their pointer is absent from free_.
+  std::vector<std::unique_ptr<SpatialTableCache>> all_ STKDE_GUARDED_BY(mu_);
+  std::vector<SpatialTableCache*> free_ STKDE_GUARDED_BY(mu_);
 };
 
 }  // namespace stkde::kernels

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lk(mu_);
+    util::LockGuard lk(mu_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -28,15 +28,15 @@ void ThreadPool::submit(std::function<void()> fn) {
   // clean "nothing ran" failure.
   STKDE_FAILPOINT("pool.submit");
   {
-    std::unique_lock lk(mu_);
+    util::LockGuard lk(mu_);
     queue_.push_back(std::move(fn));
   }
   cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  util::UniqueLock lk(mu_);
+  while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(lk);
   if (first_error_) {
     auto e = first_error_;
     first_error_ = nullptr;
@@ -48,8 +48,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      util::UniqueLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_work_.wait(lk);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -61,11 +61,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::unique_lock lk(mu_);
+      util::LockGuard lk(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::unique_lock lk(mu_);
+      util::LockGuard lk(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

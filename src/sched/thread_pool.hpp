@@ -4,14 +4,15 @@
 /// the pool separate lets tests exercise pool semantics (ordering, reuse,
 /// exception propagation) independently of DAG logic.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stkde::sched {
 
@@ -27,25 +28,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Tasks run in FIFO order per worker availability.
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) STKDE_EXCLUDES(mu_);
 
   /// Block until the queue is empty and all workers are idle. If any task
   /// threw, rethrows the first captured exception.
-  void wait_idle();
+  void wait_idle() STKDE_EXCLUDES(mu_);
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void worker_loop();
+  void worker_loop() STKDE_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;  ///< written once in the constructor
+  util::Mutex mu_;
+  std::deque<std::function<void()>> queue_ STKDE_GUARDED_BY(mu_);
+  util::CondVar cv_work_;  ///< signaled per submit and at shutdown
+  util::CondVar cv_idle_;  ///< signaled when queue drains and active_ == 0
+  std::size_t active_ STKDE_GUARDED_BY(mu_) = 0;
+  bool stop_ STKDE_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ STKDE_GUARDED_BY(mu_);
 };
 
 }  // namespace stkde::sched

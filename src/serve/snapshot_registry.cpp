@@ -14,7 +14,10 @@ SnapshotRegistry::SnapshotRegistry(core::IncrementalEstimator& eng)
   // destructor), so the captured reference stays valid for every call.
   // Installed before the publish hook: once the hook is live, the writer
   // thread may already be racing this constructor.
-  health_source_ = [&eng] { return eng.health(); };
+  {
+    util::LockGuard lk(mu_);
+    health_source_ = [&eng] { return eng.health(); };
+  }
   eng_->set_publish_hook([this](const core::ReaderPin& pin) {
     publish(Snapshot{pin.shared_raw(), pin.live(), pin.seq()});
   });
@@ -31,7 +34,7 @@ SnapshotRegistry::~SnapshotRegistry() {
 void SnapshotRegistry::publish(Snapshot s) {
   if (!s.raw) return;
   {
-    std::lock_guard lk(mu_);
+    util::LockGuard lk(mu_);
     if (s.version <= head_.version && head_.valid()) {
       ++stats_.rejected;
       return;
@@ -45,41 +48,47 @@ void SnapshotRegistry::publish(Snapshot s) {
 }
 
 Snapshot SnapshotRegistry::pin() const {
-  std::lock_guard lk(mu_);
+  util::LockGuard lk(mu_);
   ++stats_.pins;
   return head_;
 }
 
 std::uint64_t SnapshotRegistry::head_version() const {
-  std::lock_guard lk(mu_);
+  util::LockGuard lk(mu_);
   return head_.version;
 }
 
 bool SnapshotRegistry::wait_for_version(
     std::uint64_t version, std::chrono::milliseconds timeout) const {
-  std::unique_lock lk(mu_);
-  return cv_.wait_for(lk, timeout,
-                      [&] { return head_.version >= version; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::UniqueLock lk(mu_);
+  while (head_.version < version) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout)
+      return head_.version >= version;
+  }
+  return true;
 }
 
 bool SnapshotRegistry::wait_for_version_backoff(
     std::uint64_t version, std::chrono::milliseconds deadline) const {
   const auto t_end = std::chrono::steady_clock::now() + deadline;
   auto slice = std::chrono::milliseconds{1};
-  std::unique_lock lk(mu_);
+  util::UniqueLock lk(mu_);
   for (;;) {
     if (head_.version >= version) return true;
     const auto now = std::chrono::steady_clock::now();
     if (now >= t_end) return false;
     const auto wait = std::min<std::chrono::steady_clock::duration>(
         slice, t_end - now);
-    cv_.wait_for(lk, wait, [&] { return head_.version >= version; });
+    // Pred-less wait: the loop re-checks head_.version and the deadline on
+    // every wake, spurious or signaled.
+    (void)cv_.wait_for(lk, wait);
     slice = std::min(slice * 2, std::chrono::milliseconds{64});
   }
 }
 
 std::chrono::milliseconds SnapshotRegistry::publish_age() const {
-  std::lock_guard lk(mu_);
+  util::LockGuard lk(mu_);
   if (!published_once_) return std::chrono::milliseconds::max();
   return std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - last_publish_);
@@ -87,14 +96,14 @@ std::chrono::milliseconds SnapshotRegistry::publish_age() const {
 
 void SnapshotRegistry::set_health_source(
     std::function<core::EngineHealth()> source) {
-  std::lock_guard lk(mu_);
+  util::LockGuard lk(mu_);
   health_source_ = std::move(source);
 }
 
 core::EngineHealth SnapshotRegistry::engine_health() const {
   std::function<core::EngineHealth()> src;
   {
-    std::lock_guard lk(mu_);
+    util::LockGuard lk(mu_);
     src = health_source_;
   }
   // Invoked outside the registry lock: the source reads the estimator's
@@ -103,7 +112,7 @@ core::EngineHealth SnapshotRegistry::engine_health() const {
 }
 
 RegistryStats SnapshotRegistry::stats() const {
-  std::lock_guard lk(mu_);
+  util::LockGuard lk(mu_);
   return stats_;
 }
 

@@ -27,15 +27,15 @@
 /// threads concurrently with the writer.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "core/incremental.hpp"
 #include "geom/domain.hpp"
 #include "grid/dense_grid.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stkde::serve {
 
@@ -78,19 +78,20 @@ class SnapshotRegistry {
 
   /// Install \p s as the head version and wake waiters. Versions <= the
   /// current head are dropped (stats().rejected) — the head is monotone.
-  void publish(Snapshot s);
+  void publish(Snapshot s) STKDE_EXCLUDES(mu_);
 
   /// Pin the head version. Invalid (all-zero density) before the first
   /// publish. The returned snapshot is immutable for its whole lifetime.
-  [[nodiscard]] Snapshot pin() const;
+  [[nodiscard]] Snapshot pin() const STKDE_EXCLUDES(mu_);
 
   /// Version of the current head (0 before the first publish).
-  [[nodiscard]] std::uint64_t head_version() const;
+  [[nodiscard]] std::uint64_t head_version() const STKDE_EXCLUDES(mu_);
 
   /// Block until head_version() >= \p version; false on timeout. The
   /// reader-side staleness bound after a known write.
   [[nodiscard]] bool wait_for_version(std::uint64_t version,
-                                      std::chrono::milliseconds timeout) const;
+                                      std::chrono::milliseconds timeout) const
+      STKDE_EXCLUDES(mu_);
 
   /// Same predicate, but waited in bounded-exponential-backoff slices
   /// (1, 2, 4, ... capped at 64 ms): a missed notification — a writer
@@ -98,34 +99,37 @@ class SnapshotRegistry {
   /// again — cannot strand the reader past the deadline plus one slice.
   /// The primitive behind Session::await_version's graceful degradation.
   [[nodiscard]] bool wait_for_version_backoff(
-      std::uint64_t version, std::chrono::milliseconds deadline) const;
+      std::uint64_t version, std::chrono::milliseconds deadline) const
+      STKDE_EXCLUDES(mu_);
 
   /// Time since the last publish() installed a head; milliseconds::max()
   /// before the first publish. The writer-stall detector's input.
-  [[nodiscard]] std::chrono::milliseconds publish_age() const;
+  [[nodiscard]] std::chrono::milliseconds publish_age() const
+      STKDE_EXCLUDES(mu_);
 
   /// Wire a robustness-counter source for engine_health() (the attached
   /// constructor installs the estimator's health() automatically).
-  void set_health_source(std::function<core::EngineHealth()> source);
+  void set_health_source(std::function<core::EngineHealth()> source)
+      STKDE_EXCLUDES(mu_);
 
   /// Engine robustness counters via the health source; all-zero defaults
   /// when no source is attached. Safe from reader threads.
-  [[nodiscard]] core::EngineHealth engine_health() const;
+  [[nodiscard]] core::EngineHealth engine_health() const STKDE_EXCLUDES(mu_);
 
   [[nodiscard]] const DomainSpec& domain() const { return dom_; }
-  [[nodiscard]] RegistryStats stats() const;
+  [[nodiscard]] RegistryStats stats() const STKDE_EXCLUDES(mu_);
 
  private:
   DomainSpec dom_;
   core::IncrementalEstimator* eng_ = nullptr;  ///< attached mode only
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  Snapshot head_;
-  mutable RegistryStats stats_;
-  bool published_once_ = false;
-  std::chrono::steady_clock::time_point last_publish_{};
-  std::function<core::EngineHealth()> health_source_;
+  mutable util::Mutex mu_;
+  mutable util::CondVar cv_;  ///< signaled by publish() installing a head
+  Snapshot head_ STKDE_GUARDED_BY(mu_);
+  mutable RegistryStats stats_ STKDE_GUARDED_BY(mu_);
+  bool published_once_ STKDE_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_publish_ STKDE_GUARDED_BY(mu_){};
+  std::function<core::EngineHealth()> health_source_ STKDE_GUARDED_BY(mu_);
 };
 
 }  // namespace stkde::serve

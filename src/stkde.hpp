@@ -54,6 +54,8 @@
 #include "io/wal.hpp"
 #include "util/crc32.hpp"
 #include "util/failpoint.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 // Datasets, I/O, analysis, performance model.
 #include "analysis/clusters.hpp"

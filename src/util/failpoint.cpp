@@ -1,10 +1,11 @@
 #include "util/failpoint.hpp"
 
 #include <map>
-#include <mutex>
 #include <thread>
 
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace stkde::util::failpoint {
 
@@ -19,8 +20,8 @@ struct SiteState {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, SiteState> sites;
+  Mutex mu;
+  std::map<std::string, SiteState> sites STKDE_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -32,7 +33,7 @@ Registry& registry() {
 
 void arm(const std::string& site, const Spec& spec) {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   SiteState& s = r.sites[site];
   s.spec = spec;
   s.armed = true;
@@ -43,34 +44,34 @@ void arm(const std::string& site, const Spec& spec) {
 
 void disarm(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   const auto it = r.sites.find(site);
   if (it != r.sites.end()) it->second.armed = false;
 }
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   for (auto& [name, s] : r.sites) s.armed = false;
 }
 
 std::uint64_t hits(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t fires(const std::string& site) {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   const auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.fires;
 }
 
 std::vector<std::string> sites() {
   Registry& r = registry();
-  std::lock_guard lk(r.mu);
+  LockGuard lk(r.mu);
   std::vector<std::string> out;
   out.reserve(r.sites.size());
   for (const auto& [name, s] : r.sites) out.push_back(name);
@@ -82,7 +83,7 @@ void hit(const char* site) {
   std::chrono::milliseconds delay{0};
   {
     Registry& r = registry();
-    std::lock_guard lk(r.mu);
+    LockGuard lk(r.mu);
     SiteState& s = r.sites[site];
     ++s.hits;
     if (!s.armed || s.spec.action == Action::kOff) return;

@@ -1,0 +1,109 @@
+#pragma once
+/// \file mutex.hpp
+/// Annotated synchronization primitives: zero-cost wrappers over
+/// std::mutex / std::lock_guard / std::unique_lock /
+/// std::condition_variable that carry Clang Thread Safety Analysis
+/// attributes (util/thread_annotations.hpp), so the locking discipline of
+/// the concurrent subsystems is machine-checked at compile time under
+/// `-DSTKDE_THREAD_SAFETY=ON` (docs/ANALYSIS.md).
+///
+/// Each wrapper is layout-identical to the standard type it wraps
+/// (tests/annotations_test.cpp static_asserts it), and every method is a
+/// single inlined forwarding call — the annotations change what *compiles*,
+/// never what runs.
+///
+/// Condition-variable waits: CondVar::wait(UniqueLock&) releases and
+/// reacquires the lock, which is capability-neutral (held before, held
+/// after), so the analysis needs no special handling — but predicates must
+/// be written as explicit `while (!pred) cv.wait(lk);` loops in the
+/// caller's body. A predicate lambda passed *into* a wait would be analyzed
+/// as a separate function that cannot see the held lock, producing false
+/// positives on every guarded member it reads.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace stkde::util {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute: members annotated
+/// STKDE_GUARDED_BY(mu_) may only be touched while mu_ is held.
+class STKDE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STKDE_ACQUIRE() { mu_.lock(); }
+  void unlock() STKDE_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() STKDE_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over util::Mutex — the default way to hold a lock for a
+/// scope. Scoped capability: the analysis tracks the lock as held from
+/// construction to destruction.
+class STKDE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) STKDE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() STKDE_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over util::Mutex, for condition-variable waits. Always
+/// constructed locked; CondVar::wait temporarily releases it.
+class STKDE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) STKDE_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~UniqueLock() STKDE_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over util::UniqueLock. Wait with an explicit
+/// loop (see the file comment); wait_until/wait_for return cv_status so
+/// deadline loops stay idiomatic.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.lk_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.lk_, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.lk_, d);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stkde::util

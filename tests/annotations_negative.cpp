@@ -1,0 +1,30 @@
+// Negative-compile proof that Clang Thread Safety Analysis is live
+// (docs/ANALYSIS.md): this file seeds the canonical violation — a
+// STKDE_GUARDED_BY member touched without its mutex — and MUST FAIL to
+// compile under `-Wthread-safety -Werror=thread-safety-analysis`.
+//
+// It is not a member of any build target. The annotations_negative_compile
+// ctest entry (tests/CMakeLists.txt, gated on STKDE_THREAD_SAFETY) feeds it
+// to the compiler with -fsyntax-only and inverts the result with WILL_FAIL:
+// if the compiler *accepts* this file, the analysis has been silently
+// disabled — macros expanding to nothing, flags dropped — and the test
+// fails, which is the whole point.
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stkde {
+
+class Violator {
+ public:
+  // BUG (deliberate): writes a guarded member without holding mu_.
+  void unlocked_write() { ++count_; }
+
+ private:
+  util::Mutex mu_;
+  int count_ STKDE_GUARDED_BY(mu_) = 0;
+};
+
+inline void drive(Violator& v) { v.unlocked_write(); }
+
+}  // namespace stkde

@@ -1,0 +1,165 @@
+// Thread-safety-annotation battery (docs/ANALYSIS.md).
+//
+// Two proofs, one per layer:
+//  1. Compile-time: the annotated wrappers in util/mutex.hpp are zero-cost
+//     — layout-identical to the std types they forward to, with no vtable,
+//     no extra state, and the same (non)triviality. static_asserts, so a
+//     regression fails the *build* of this test on every compiler.
+//  2. Runtime: the wrappers forward faithfully — mutual exclusion,
+//     try_lock semantics, condition-variable wakeup and deadline paths —
+//     on the explicit-while-loop wait idiom the analysis mandates.
+//
+// The complementary negative proof (the analysis actually *fires* on a
+// seeded violation under -DSTKDE_THREAD_SAFETY=ON) is
+// annotations_negative.cpp, driven by the annotations_negative_compile
+// ctest entry.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace stkde {
+namespace {
+
+using util::CondVar;
+using util::LockGuard;
+using util::Mutex;
+using util::UniqueLock;
+
+// --- 1. Zero-cost: layout and triviality match the wrapped std types. ---
+
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "Mutex must add no state to std::mutex");
+static_assert(alignof(Mutex) == alignof(std::mutex),
+              "Mutex must not change alignment");
+static_assert(sizeof(LockGuard) == sizeof(std::lock_guard<std::mutex>),
+              "LockGuard must add no state to std::lock_guard");
+static_assert(sizeof(UniqueLock) == sizeof(std::unique_lock<std::mutex>),
+              "UniqueLock must add no state to std::unique_lock");
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable),
+              "CondVar must add no state to std::condition_variable");
+
+// No accidental virtuals — the annotations are attributes, not interfaces.
+static_assert(!std::is_polymorphic_v<Mutex>);
+static_assert(!std::is_polymorphic_v<LockGuard>);
+static_assert(!std::is_polymorphic_v<UniqueLock>);
+static_assert(!std::is_polymorphic_v<CondVar>);
+
+// Same (non)triviality of destruction as the std types: LockGuard and
+// UniqueLock must release in their destructors exactly as the std guards
+// do, and Mutex/CondVar destruction forwards to the std members.
+static_assert(std::is_trivially_destructible_v<Mutex> ==
+              std::is_trivially_destructible_v<std::mutex>);
+static_assert(std::is_trivially_destructible_v<CondVar> ==
+              std::is_trivially_destructible_v<std::condition_variable>);
+
+// Non-copyable, non-movable, like the std types.
+static_assert(!std::is_copy_constructible_v<Mutex>);
+static_assert(!std::is_move_constructible_v<Mutex>);
+static_assert(!std::is_copy_constructible_v<LockGuard>);
+static_assert(!std::is_copy_constructible_v<UniqueLock>);
+static_assert(!std::is_copy_constructible_v<CondVar>);
+
+// The annotation macros themselves must vanish on non-Clang compilers and
+// never change a declaration's meaning: a function declared with them is
+// still an ordinary function. (Spelled as a real declaration so the macro
+// expansion is exercised in every build, Clang or not.)
+class AnnotatedProbe {
+ public:
+  void touch() STKDE_EXCLUDES(mu_) {
+    LockGuard lk(mu_);
+    ++value_;
+  }
+  [[nodiscard]] int value() const STKDE_EXCLUDES(mu_) {
+    LockGuard lk(mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ STKDE_GUARDED_BY(mu_) = 0;
+};
+
+// --- 2. Runtime: the wrappers forward faithfully. ---
+
+TEST(Annotations, LockGuardMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard lk(mu);
+        ++counter;
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Annotations, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // Same-thread relock is UB on std::mutex; probe from another thread.
+  bool second = true;
+  std::thread probe([&] { second = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(Annotations, CondVarExplicitLoopWakeup) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (local scope: annotation not needed)
+  int observed = -1;
+
+  std::thread waiter([&] {
+    UniqueLock lk(mu);
+    while (!ready) cv.wait(lk);  // the idiom the analysis mandates
+    observed = 42;
+  });
+  {
+    LockGuard lk(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Annotations, CondVarDeadlineTimesOut) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lk(mu);
+  const auto status = cv.wait_for(lk, std::chrono::milliseconds{5});
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+TEST(Annotations, AnnotatedProbeBehavesLikePlainClass) {
+  AnnotatedProbe p;
+  std::vector<std::thread> ts;
+  ts.reserve(3);
+  for (int t = 0; t < 3; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) p.touch();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(p.value(), 3000);
+}
+
+}  // namespace
+}  // namespace stkde

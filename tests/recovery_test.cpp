@@ -12,10 +12,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "core/durability.hpp"
 #include "core/incremental.hpp"
 #include "helpers.hpp"
+#include "io/checked_io.hpp"
 #include "io/wal.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
@@ -253,6 +257,58 @@ TEST(Wal, CorruptMidFileRecordStopsTheScan) {
   EXPECT_TRUE(rep.torn);
   ASSERT_EQ(rep.records.size(), 1u);
   EXPECT_EQ(rep.records[0].seq, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checked stdio (io/checked_io.hpp): the single error path the WAL and the
+// checkpoint writer share. A short write — disk full, closed stream — must
+// throw with errno's text attached, not silently drop bytes.
+
+TEST(CheckedIo, ShortWriteThrowsWithErrnoDetail) {
+  const std::string dir = fresh_dir("checked_io_short");
+  const std::string path = dir + "/victim.bin";
+  { std::ofstream(path) << "seed"; }
+  // A stream opened read-only makes every fwrite a deterministic short
+  // write (0 of n bytes land), the same observable as ENOSPC mid-buffer.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  const char payload[] = "payload";
+  try {
+    io::checked_write(f, payload, sizeof(payload), "wal", path);
+    std::fclose(f);
+    FAIL() << "short write must throw";
+  } catch (const std::runtime_error& e) {
+    std::fclose(f);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("wal: write failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckedIo, ZeroByteWriteIsANoOp) {
+  const std::string dir = fresh_dir("checked_io_zero");
+  const std::string path = dir + "/victim.bin";
+  std::FILE* f = std::fopen(path.c_str(), "rb");  // nonexistent is fine too
+  if (f == nullptr) f = std::fopen((dir + "/other.bin").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NO_THROW(io::checked_write(f, nullptr, 0, "wal", path));
+  std::fclose(f);
+}
+
+TEST(CheckedIo, WalAppendSurfacesShortWriteAsRuntimeError) {
+  const std::string dir = fresh_dir("checked_io_wal");
+  const std::string path = dir + "/wal.0.log";
+  auto w = std::make_unique<io::WalWriter>(path, io::WalSync::kNone,
+                                           /*truncate=*/true);
+  // Yank the file out from under the writer's buffered stream: make the
+  // next flush fail the way a full disk would. freopen to read-only mode
+  // on the same FILE keeps the pointer valid but write-hostile.
+  ASSERT_NE(std::freopen(path.c_str(), "rb", w->file_for_test()), nullptr);
+  EXPECT_THROW(
+      w->append(make_record(io::WalRecordType::kAdd, 1, 0.0, {{1, 2, 3}})),
+      std::runtime_error);
+  // Destructor must still be safe after the failed append.
+  EXPECT_NO_THROW(w.reset());
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -182,6 +183,41 @@ TEST(ServeWireRoundTrip, EveryQueryType) {
     const auto* q = decode_query_as<HealthQuery>(encode(QueryMessage{
         HealthQuery{}}));
     ASSERT_NE(q, nullptr);
+  }
+}
+
+// Static-analysis regression (docs/ANALYSIS.md): the decoder was flagged
+// as an unchecked-memcpy-alignment suspect. It is byte-wise by design —
+// every multi-byte field is assembled from individual octets, so no
+// load/store ever requires alignment — and this test decodes every frame
+// type from deliberately *misaligned* storage (offset 1..7 inside an
+// oversized buffer) so the UBSan CI job would trap any future aligned-load
+// shortcut the moment it lands.
+TEST(ServeWireRoundTrip, DecodeFromMisalignedBuffersIsExact) {
+  RegionQuery in;
+  in.region = Extent3{-3, 9, 0, 17, 2, 5};
+  in.op = RegionOp::kMax;
+  const Frame fq = encode(QueryMessage{in});
+  ResponseMessage rin{DensityAtResponse{7, 0.0078125f}};
+  const Frame fr = encode(rin);
+  for (std::size_t shift = 1; shift < 8; ++shift) {
+    std::vector<std::uint8_t> q_store(fq.size() + 8, 0xAA);
+    std::copy(fq.begin(), fq.end(), q_store.begin() + shift);
+    const auto q = decode_query(q_store.data() + shift, fq.size());
+    ASSERT_TRUE(q.has_value()) << "shift " << shift;
+    const auto* rq = std::get_if<RegionQuery>(&*q);
+    ASSERT_NE(rq, nullptr) << "shift " << shift;
+    EXPECT_EQ(rq->region, in.region) << "shift " << shift;
+    EXPECT_EQ(rq->op, RegionOp::kMax) << "shift " << shift;
+
+    std::vector<std::uint8_t> r_store(fr.size() + 8, 0x55);
+    std::copy(fr.begin(), fr.end(), r_store.begin() + shift);
+    const auto r = decode_response(r_store.data() + shift, fr.size());
+    ASSERT_TRUE(r.has_value()) << "shift " << shift;
+    const auto* rr = std::get_if<DensityAtResponse>(&*r);
+    ASSERT_NE(rr, nullptr) << "shift " << shift;
+    EXPECT_EQ(rr->version, 7u) << "shift " << shift;
+    EXPECT_EQ(rr->value, 0.0078125f) << "shift " << shift;
   }
 }
 

@@ -15,8 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -91,6 +93,76 @@ TEST(StreamingConcurrency, ReadersNeverObserveTornBatch) {
   EXPECT_EQ(count_violations.load(), 0);
   EXPECT_EQ(density_violations.load(), 0);
   EXPECT_EQ(inc.live_count(), kBatch * (kBatches - kBatches / 4));
+}
+
+// Static-analysis regression (docs/ANALYSIS.md): the publish buffer's
+// return-to-pool shared_ptr deleter was flagged as an unannotated-lock
+// escape suspect — it runs on whichever thread drops the last pin and
+// re-enters the writer's BufferPool. The protocol is sound (BufferPool::put
+// takes the pool mutex internally; both it and the guarded free-list are
+// now thread-safety-annotated), and this test hammers exactly that edge:
+// reader threads holding pins across publishes and dropping them in
+// shuffled order, so deleters fire concurrently from reader threads while
+// the writer recycles buffers. ASan would catch a double-return or
+// use-after-free; TSan an unlocked pool touch; the pinned-value checks a
+// buffer recycled while still referenced.
+TEST(StreamingConcurrency, DroppedPinsReturnBuffersSafelyAcrossThreads) {
+  const auto t = make_tiny(1, 3, 2);
+  const Point p0{12.0, 10.0, 8.0};
+  const VoxelMapper map(t.domain);
+  const Voxel v0 = map.voxel_of(p0);
+
+  // Single-event reference contribution: a pinned buffer holding n live
+  // copies of p0 must read n * c0 at v0 for as long as the pin is held.
+  float c0 = 0.0f;
+  {
+    IncrementalEstimator ref(t.domain, t.params);
+    ref.add(PointSet{p0});
+    c0 = ref.density_at(v0);
+  }
+  ASSERT_GT(c0, 0.0f);
+
+  IncrementalEstimator inc(t.domain, t.params);
+  constexpr int kRounds = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<int> stale_pin_violations{0};
+
+  auto reader = [&] {
+    std::vector<ReaderPin> held;
+    std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+    while (!stop.load(std::memory_order_acquire)) {
+      held.push_back(inc.pin());
+      if (held.size() >= 6) {
+        // Drop a pseudo-random pin, not the oldest: deleters must fire
+        // out of publish order.
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::size_t victim = (seed >> 33) % held.size();
+        // The pinned grid must still agree with the pinned live count —
+        // a buffer recycled by the writer while this pin referenced it
+        // would hold a newer, larger sum.
+        const ReaderPin& pin = held[victim];
+        if (pin.valid()) {
+          const auto n = static_cast<float>(pin.live());
+          if (std::abs(pin.raw().at(v0.x, v0.y, v0.t) - n * c0) >
+              1e-3f * std::max(1.0f, n * c0))
+            stale_pin_violations.fetch_add(1);
+        }
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) readers.emplace_back(reader);
+
+  const PointSet batch(8, p0);
+  for (int i = 0; i < kRounds; ++i) inc.add(batch);
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(stale_pin_violations.load(), 0);
+  EXPECT_EQ(inc.live_count(), 8u * kRounds);
+  // The pool cap bounds retained buffers; a leak of every dropped pin's
+  // buffer would trip ASan's leak check in the sanitizer job.
 }
 
 TEST(StreamingConcurrency, SnapshotIsAnIndependentCopy) {

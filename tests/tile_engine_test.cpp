@@ -41,6 +41,36 @@ TEST(TileOrder, MortonInterleavesBits) {
   EXPECT_EQ(morton2(0, 0xffffu), 0xaaaaaaaau);
 }
 
+// Static-analysis regression (docs/ANALYSIS.md): the Morton/bias math was
+// flagged as a signed-shift-UB suspect. It is UB-free by construction —
+// spread_bits16 works in uint32, biased16 biases through int64 before the
+// narrowing — and this test drives the full extreme-input envelope so the
+// UBSan CI job (-fsanitize=undefined, non-recovering) proves it stays
+// that way. Expected values pin today's clamp-and-interleave semantics.
+TEST(TileOrder, ScatterKeyExtremeCoordinatesAreUbFreeAndOrdered) {
+  constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+  constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+  // Both coordinate signs saturate order-preservingly at the 16-bit bias
+  // rails instead of wrapping.
+  const auto lo = scatter_order_key(Voxel{kMin, kMin, kMin});
+  const auto hi = scatter_order_key(Voxel{kMax, kMax, kMax});
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, (std::uint64_t{0xffffffffu} << 16) | 0xffffu);
+  EXPECT_LT(lo, hi);
+  // The bias rails themselves: -0x8000 maps to 0, 0x7fff to 0xffff.
+  EXPECT_EQ(scatter_order_key(Voxel{-0x8000, -0x8000, -0x8000}), 0u);
+  EXPECT_EQ(scatter_order_key(Voxel{0x7fff, 0x7fff, 0x7fff}), hi);
+  // Monotone in each axis across the sign boundary (the clamped-voxel
+  // case recovery replays hit: coordinates slightly below 0).
+  EXPECT_LT(scatter_order_key(Voxel{-1, 0, 0}), scatter_order_key(Voxel{0, 0, 0}));
+  EXPECT_LT(scatter_order_key(Voxel{0, -1, 0}), scatter_order_key(Voxel{0, 0, 0}));
+  EXPECT_LT(scatter_order_key(Voxel{0, 0, -1}), scatter_order_key(Voxel{0, 0, 0}));
+  // Full-width interleave stays inside 32 bits before the t-shift: the
+  // top Morton bit is y's bit 15 at position 31, never the sign bit of
+  // anything signed.
+  EXPECT_EQ(morton2(0xffffu, 0xffffu), 0xffffffffu);
+}
+
 TEST(TileOrder, ScatterKeyOrdersNearbyVoxelsTogether) {
   // Z-order locality: the key distance of adjacent voxels is smaller than
   // that of far-apart ones at matching t.

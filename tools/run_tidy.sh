@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the C++ files changed relative to a base ref
+# (origin/main by default), against the compilation database exported by
+# CMake (CMAKE_EXPORT_COMPILE_COMMANDS is on by default, so any configured
+# build tree works).
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir] [base-ref]
+#
+#   build-dir  directory holding compile_commands.json   (default: build)
+#   base-ref   git ref to diff against                   (default: origin/main,
+#              falling back to main, then HEAD~1)
+#
+# Exit status is clang-tidy's: nonzero when any enabled check fires
+# (.clang-tidy sets WarningsAsErrors: '*'), so CI can gate on it directly.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BASE_REF="${2:-}"
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "error: ${TIDY} not found (set CLANG_TIDY to the binary to use)." >&2
+  exit 2
+fi
+
+if [[ -z "${BASE_REF}" ]]; then
+  for cand in origin/main main "HEAD~1"; do
+    if git rev-parse --verify --quiet "${cand}" >/dev/null; then
+      BASE_REF="${cand}"
+      break
+    fi
+  done
+fi
+
+# Changed C++ sources, tracked or staged, relative to the merge base — the
+# PR diff, not the whole tree. Headers are tidied transitively through the
+# TUs that include them (HeaderFilterRegex in .clang-tidy).
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR \
+    "$(git merge-base "${BASE_REF}" HEAD)" -- \
+    'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
+    'src/**/*.cpp' 'tests/**/*.cpp' 'bench/**/*.cpp' 'examples/**/*.cpp')
+
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "run_tidy: no C++ sources changed vs ${BASE_REF}; nothing to do."
+  exit 0
+fi
+
+echo "run_tidy: ${#changed[@]} file(s) changed vs ${BASE_REF}:"
+printf '  %s\n' "${changed[@]}"
+
+"${TIDY}" -p "${BUILD_DIR}" --quiet "${changed[@]}"
+echo "run_tidy: clean."
