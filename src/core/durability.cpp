@@ -170,6 +170,10 @@ void DurableLog::checkpoint(std::uint64_t last_seq, double last_cutoff,
 }
 
 DurableLog::Recovered DurableLog::recover() {
+  // Chaos site: a crash while reading durable state back (checkpoint
+  // parse / WAL scan). Fires before anything on disk or in memory is
+  // touched, so recovery can simply be attempted again.
+  STKDE_FAILPOINT("durable.recover");
   Recovered r;
   if (fs::exists(ckpt_path())) {
     const std::vector<std::uint8_t> bytes = read_file(ckpt_path());

@@ -650,6 +650,11 @@ RecoverReport IncrementalEstimator::recover() {
       ++rep.skipped_records;
       continue;
     }
+    // Chaos site: a crash *during* recovery replay. Recovery mutates only
+    // in-memory state (the durable files were already tail-truncated by
+    // DurableLog::recover), so a re-run on a fresh estimator must land on
+    // the identical grid — recovery_test.cpp's idempotence matrix.
+    STKDE_FAILPOINT("stream.recover.replay");
     replay_record(r);
     batch_seq_ = r.seq;
     ++rep.batches_replayed;

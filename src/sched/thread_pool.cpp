@@ -1,6 +1,7 @@
 #include "sched/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/failpoint.hpp"
 
@@ -23,20 +24,26 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  submit(std::move(fn), Priority::kNormal, nullptr);
+}
+
+void ThreadPool::submit(std::function<void()> fn, Priority pri,
+                        CancelToken cancel) {
   // Chaos site: models task-queue exhaustion / allocation failure at
   // submission; throws before the task is enqueued, so callers observe a
   // clean "nothing ran" failure.
   STKDE_FAILPOINT("pool.submit");
   {
     util::LockGuard lk(mu_);
-    queue_.push_back(std::move(fn));
+    queues_[static_cast<std::size_t>(pri)].push_back(
+        Task{std::move(fn), std::move(cancel)});
   }
   cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
   util::UniqueLock lk(mu_);
-  while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(lk);
+  while (!(queues_empty() && active_ == 0)) cv_idle_.wait(lk);
   if (first_error_) {
     auto e = first_error_;
     first_error_ = nullptr;
@@ -44,22 +51,38 @@ void ThreadPool::wait_idle() {
   }
 }
 
+std::uint64_t ThreadPool::cancelled() const {
+  util::LockGuard lk(mu_);
+  return cancelled_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    std::function<void()> body;
     {
       util::UniqueLock lk(mu_);
-      while (!stop_ && queue_.empty()) cv_work_.wait(lk);
-      if (queue_.empty()) {
+      while (!stop_ && queues_empty()) cv_work_.wait(lk);
+      if (queues_empty()) {
         if (stop_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      auto& q = !queues_[0].empty() ? queues_[0]
+                : !queues_[1].empty() ? queues_[1]
+                                      : queues_[2];
+      Task t = std::move(q.front());
+      q.pop_front();
+      if (t.cancel && t.cancel->load(std::memory_order_acquire)) {
+        // Skipped, not run: count it and keep the idle invariant — this
+        // dequeue may have been the one emptying the queues.
+        ++cancelled_;
+        if (queues_empty() && active_ == 0) cv_idle_.notify_all();
+        continue;
+      }
+      body = std::move(t.fn);
       ++active_;
     }
     try {
-      task();
+      body();
     } catch (...) {
       util::LockGuard lk(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -67,7 +90,7 @@ void ThreadPool::worker_loop() {
     {
       util::LockGuard lk(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+      if (queues_empty() && active_ == 0) cv_idle_.notify_all();
     }
   }
 }

@@ -3,11 +3,31 @@
 /// A fixed-size worker pool. The DAG scheduler sits on top of it; keeping
 /// the pool separate lets tests exercise pool semantics (ordering, reuse,
 /// exception propagation) independently of DAG logic.
+///
+/// Priorities: three strict levels (kHigh > kNormal > kLow). A worker
+/// always drains higher levels first — under overload this is what lets
+/// the serve executor keep cheap point/health lookups flowing while
+/// expensive region-grid scans queue behind them. Starvation of kLow under
+/// sustained kHigh pressure is the *intended* policy (admission control
+/// bounds how long anything waits; see serve/admission.hpp). Same-level
+/// tasks stay FIFO, and plain submit() is kNormal, so existing callers see
+/// the original ordering contract unchanged.
+///
+/// Cancellation: submit() optionally takes a shared cancel flag. A task
+/// whose flag is set by the time a worker dequeues it is *skipped* — never
+/// run, counted in cancelled() — which turns "cancel the queued work of a
+/// dead request" from a per-task dance into one atomic store. Tasks
+/// already running are not interrupted (cooperative cancellation inside
+/// the task body is the serve executor's job).
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -15,6 +35,14 @@
 #include "util/thread_annotations.hpp"
 
 namespace stkde::sched {
+
+/// Strict task priority: workers never run a lower level while a higher
+/// one has queued work.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+/// Shared cancellation flag: set it to true and every not-yet-dequeued
+/// task submitted with it is skipped.
+using CancelToken = std::shared_ptr<const std::atomic<bool>>;
 
 class ThreadPool {
  public:
@@ -27,24 +55,43 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks run in FIFO order per worker availability.
+  /// Enqueue a task at kNormal. Tasks run in FIFO order per worker
+  /// availability (the original, priority-free contract).
   void submit(std::function<void()> fn) STKDE_EXCLUDES(mu_);
+
+  /// Enqueue a task at \p pri, optionally tagged with a cancel flag; if
+  /// the flag reads true at dequeue the task is dropped unrun.
+  void submit(std::function<void()> fn, Priority pri,
+              CancelToken cancel = nullptr) STKDE_EXCLUDES(mu_);
 
   /// Block until the queue is empty and all workers are idle. If any task
   /// threw, rethrows the first captured exception.
   void wait_idle() STKDE_EXCLUDES(mu_);
 
+  /// Tasks dropped at dequeue because their cancel flag was set.
+  [[nodiscard]] std::uint64_t cancelled() const STKDE_EXCLUDES(mu_);
+
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    CancelToken cancel;
+  };
+
+  [[nodiscard]] bool queues_empty() const STKDE_REQUIRES(mu_) {
+    return queues_[0].empty() && queues_[1].empty() && queues_[2].empty();
+  }
+
   void worker_loop() STKDE_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;  ///< written once in the constructor
-  util::Mutex mu_;
-  std::deque<std::function<void()>> queue_ STKDE_GUARDED_BY(mu_);
+  mutable util::Mutex mu_;
+  std::array<std::deque<Task>, 3> queues_ STKDE_GUARDED_BY(mu_);
   util::CondVar cv_work_;  ///< signaled per submit and at shutdown
-  util::CondVar cv_idle_;  ///< signaled when queue drains and active_ == 0
+  util::CondVar cv_idle_;  ///< signaled when queues drain and active_ == 0
   std::size_t active_ STKDE_GUARDED_BY(mu_) = 0;
+  std::uint64_t cancelled_ STKDE_GUARDED_BY(mu_) = 0;
   bool stop_ STKDE_GUARDED_BY(mu_) = false;
   std::exception_ptr first_error_ STKDE_GUARDED_BY(mu_);
 };

@@ -1,0 +1,158 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <variant>
+
+namespace stkde::serve {
+
+CostClass classify(const wire::QueryMessage& query) {
+  return std::visit(
+      [](const auto& q) -> CostClass {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, wire::DensityAtQuery> ||
+                      std::is_same_v<T, wire::HealthQuery>) {
+          return CostClass::kCheap;
+        } else if constexpr (std::is_same_v<T, wire::SliceQuery> ||
+                             std::is_same_v<T, wire::RegionQuery>) {
+          return CostClass::kMedium;
+        } else {
+          static_assert(std::is_same_v<T, wire::RegionGridQuery> ||
+                        std::is_same_v<T, wire::HotspotsQuery>);
+          return CostClass::kExpensive;
+        }
+      },
+      query);
+}
+
+const char* to_string(CostClass c) {
+  switch (c) {
+    case CostClass::kCheap:
+      return "cheap";
+    case CostClass::kMedium:
+      return "medium";
+    case CostClass::kExpensive:
+      return "expensive";
+  }
+  return "?";
+}
+
+sched::Priority priority_of(CostClass c) {
+  switch (c) {
+    case CostClass::kCheap:
+      return sched::Priority::kHigh;
+    case CostClass::kMedium:
+      return sched::Priority::kNormal;
+    case CostClass::kExpensive:
+      return sched::Priority::kLow;
+  }
+  return sched::Priority::kNormal;
+}
+
+AdmissionController::AdmissionController(AdmissionConfig cfg,
+                                         const util::Clock* clock)
+    : cfg_(cfg), clock_(clock) {
+  for (std::size_t i = 0; i < kCostClasses; ++i) {
+    cfg_.budgets[i].concurrency = std::max(1, cfg_.budgets[i].concurrency);
+    cfg_.budgets[i].queue_depth = std::max(0, cfg_.budgets[i].queue_depth);
+    ewma_ms_[i] = std::max(1e-3, cfg_.initial_cost_ms[i]);
+  }
+}
+
+std::chrono::milliseconds AdmissionController::estimated_wait(
+    CostClass c) const {
+  const auto i = static_cast<std::size_t>(c);
+  const double per_slot =
+      ewma_ms_[i] / static_cast<double>(cfg_.budgets[i].concurrency);
+  const double est = static_cast<double>(queued_[i] + 1) * per_slot;
+  return std::chrono::milliseconds{static_cast<std::int64_t>(est) + 1};
+}
+
+std::chrono::milliseconds AdmissionController::retry_hint(CostClass c) const {
+  return std::clamp(estimated_wait(c), cfg_.min_retry_after,
+                    std::chrono::milliseconds{10'000});
+}
+
+AdmissionDecision AdmissionController::offer(
+    CostClass c, std::uint64_t session_key,
+    std::chrono::milliseconds deadline_left, bool writer_stalled) {
+  const auto i = static_cast<std::size_t>(c);
+
+  // 1. Writer-stall circuit breaker: expensive scans of data that has
+  // stopped advancing are the first thing to go; cheap pinned reads keep
+  // flowing.
+  if (writer_stalled && c == CostClass::kExpensive) {
+    ++stats_.shed_stalled;
+    return {AdmissionDecision::Verdict::kShed, retry_hint(c),
+            "writer stalled; expensive queries shed"};
+  }
+
+  // 2. Per-session token bucket.
+  if (cfg_.session_rate > 0.0 && session_key != 0) {
+    auto it = buckets_.find(session_key);
+    if (it == buckets_.end()) {
+      if (buckets_.size() >= kMaxSessionBuckets) {
+        ++stats_.bucket_overflow;  // table full: admit unmetered, never grow
+      } else {
+        it = buckets_
+                 .emplace(session_key,
+                          util::TokenBucket(cfg_.session_rate,
+                                            cfg_.session_burst, clock_->now()))
+                 .first;
+      }
+    }
+    if (it != buckets_.end() && !it->second.try_take(clock_->now())) {
+      ++stats_.shed_session;
+      const auto retry = std::clamp(it->second.retry_after(clock_->now()),
+                                    cfg_.min_retry_after,
+                                    std::chrono::milliseconds{10'000});
+      return {AdmissionDecision::Verdict::kShed, retry,
+              "session rate limit exceeded"};
+    }
+  }
+
+  // 3. Class budgets: a free slot runs now; otherwise queue only work that
+  // can still meet its deadline and fits the queue.
+  if (running_[i] < cfg_.budgets[i].concurrency) {
+    ++running_[i];
+    ++stats_.admitted_run;
+    return {AdmissionDecision::Verdict::kRun, {}, ""};
+  }
+  if (estimated_wait(c) > deadline_left) {
+    ++stats_.shed_deadline;
+    return {AdmissionDecision::Verdict::kShed, retry_hint(c),
+            "queue wait estimate exceeds request deadline"};
+  }
+  if (queued_[i] >= cfg_.budgets[i].queue_depth) {
+    ++stats_.shed_budget;
+    return {AdmissionDecision::Verdict::kShed, retry_hint(c),
+            "class queue full"};
+  }
+  ++queued_[i];
+  ++stats_.admitted_queue;
+  return {AdmissionDecision::Verdict::kQueue, {}, ""};
+}
+
+void AdmissionController::on_dequeue_run(CostClass c) {
+  const auto i = static_cast<std::size_t>(c);
+  --queued_[i];
+  ++running_[i];
+}
+
+void AdmissionController::on_dequeue_drop(CostClass c) {
+  --queued_[static_cast<std::size_t>(c)];
+  ++stats_.dropped_dequeue;
+}
+
+void AdmissionController::on_start_failed(CostClass c) {
+  --running_[static_cast<std::size_t>(c)];
+}
+
+void AdmissionController::on_finish(CostClass c, double service_ms) {
+  const auto i = static_cast<std::size_t>(c);
+  --running_[i];
+  constexpr double kAlpha = 0.2;  // light smoothing; adapts within ~10 reqs
+  ewma_ms_[i] =
+      (1.0 - kAlpha) * ewma_ms_[i] + kAlpha * std::max(0.0, service_ms);
+}
+
+}  // namespace stkde::serve

@@ -1,0 +1,87 @@
+#pragma once
+/// \file client_retry.hpp
+/// Client-side half of the backpressure contract: decide, from a decoded
+/// response, whether to retry and how long to wait first.
+///
+/// The server's kOverloaded rejections carry retry_after_ms — the
+/// admission controller's own estimate of when capacity frees up. A
+/// client that retries sooner just gets shed again (and burns server
+/// admission work doing it); a fleet of clients that all retry at exactly
+/// retry_after_ms reconverges into the same spike that got them shed. So
+/// the policy here is: honor the server's hint as a *floor*, and add
+/// decorrelated jitter (util/backoff.hpp) on top so retries spread out.
+///
+/// Retryability by error code:
+///   kOverloaded        yes — that is what the hint is for
+///   kUnavailable       yes — the first publish may be moments away
+///   kDeadlineExceeded  no  — the request's time budget is already spent
+///   kShuttingDown      no  — this endpoint is going away; fail over
+///   kMalformed/kBadArgument/kInternal — no; retrying the same bytes
+///                      cannot change the answer
+///
+/// Header-only and deterministic under a fixed seed, like the server-side
+/// backoff it mirrors.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <variant>
+
+#include "serve/wire.hpp"
+#include "util/backoff.hpp"
+
+namespace stkde::serve {
+
+struct RetryDecision {
+  bool retry = false;
+  std::chrono::milliseconds delay{0};
+};
+
+class ClientRetry {
+ public:
+  struct Config {
+    std::chrono::milliseconds base{1};
+    std::chrono::milliseconds cap{1000};
+    int max_attempts = 8;  ///< total tries, first included
+    std::uint64_t seed = 0x434C4E54u;
+  };
+
+  ClientRetry() : ClientRetry(Config()) {}
+  explicit ClientRetry(Config cfg)
+      : cfg_(cfg), backoff_(cfg.base, cfg.cap, cfg.seed) {}
+
+  /// Classify one response. Non-error responses (and non-retryable
+  /// errors) return {false, 0}; retryable errors return the jittered
+  /// delay, floored at the server's retry_after_ms hint.
+  [[nodiscard]] RetryDecision on_response(const wire::ResponseMessage& resp) {
+    const auto* err = std::get_if<wire::ErrorResponse>(&resp);
+    if (err == nullptr) {
+      reset();  // success: the next failure starts a fresh schedule
+      return {};
+    }
+    if (!retryable(err->code)) return {};
+    if (++attempts_ >= cfg_.max_attempts) return {};
+    const auto jittered = backoff_.next();
+    const auto floor = std::chrono::milliseconds{err->retry_after_ms};
+    return {true, std::max(jittered, floor)};
+  }
+
+  [[nodiscard]] static bool retryable(wire::ErrorCode code) {
+    return code == wire::ErrorCode::kOverloaded ||
+           code == wire::ErrorCode::kUnavailable;
+  }
+
+  void reset() {
+    attempts_ = 0;
+    backoff_.reset();
+  }
+
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  Config cfg_;
+  util::DecorrelatedBackoff backoff_;
+  int attempts_ = 0;
+};
+
+}  // namespace stkde::serve

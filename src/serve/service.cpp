@@ -80,6 +80,37 @@ wire::ResponseMessage execute(const Session& session,
       query);
 }
 
+wire::ResponseMessage execute_cancellable(
+    const Session& session, const wire::QueryMessage& query,
+    const std::function<bool()>& cancelled, std::size_t rows_per_check) {
+  const auto deadline_exceeded = [] {
+    return wire::ErrorResponse{wire::ErrorCode::kDeadlineExceeded,
+                               "request cancelled during execution"};
+  };
+  if (const auto* grid_q = std::get_if<wire::RegionGridQuery>(&query)) {
+    if (!session.pinned().valid())
+      return wire::ErrorResponse{wire::ErrorCode::kUnavailable,
+                                 "no density version published yet"};
+    try {
+      auto grid = session.region_grid(
+          grid_q->region, cancelled,
+          static_cast<std::int32_t>(rows_per_check));
+      if (!grid) return deadline_exceeded();
+      wire::RegionGridResponse resp;
+      resp.version = session.version();
+      resp.grid = std::move(*grid);
+      return resp;
+    } catch (const std::invalid_argument&) {
+      return bad_argument("region clips to empty");
+    }
+  }
+  // Hotspot clustering is monolithic (analysis/clusters has no incremental
+  // form); one poll before committing to it is the best cancellation point.
+  if (std::holds_alternative<wire::HotspotsQuery>(query) && cancelled())
+    return deadline_exceeded();
+  return execute(session, query);
+}
+
 wire::Frame serve_frame(const Session& session, const std::uint8_t* data,
                         std::size_t size) {
   // A transport's one obligation is an answer frame for every request

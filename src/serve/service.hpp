@@ -10,7 +10,9 @@
 /// version. serve_frame() itself never re-pins — consistency is the
 /// session's job, framing is this file's.
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "serve/session.hpp"
 #include "serve/wire.hpp"
@@ -27,6 +29,18 @@ namespace stkde::serve {
 /// but *empty* stream (n == 0) still return zeros — that is a real answer.
 [[nodiscard]] wire::ResponseMessage execute(const Session& session,
                                             const wire::QueryMessage& query);
+
+/// execute() with cooperative cancellation for the expensive queries: a
+/// region-grid scan polls \p cancelled between row slabs (of
+/// \p rows_per_check X-rows) and a hotspot extraction polls it once before
+/// clustering; a true poll yields ErrorResponse{kDeadlineExceeded} instead
+/// of a result. Cheap/medium queries ignore the token — they finish faster
+/// than a poll is worth. This is the dispatch the overload executor runs
+/// in-flight requests through (serve/executor.hpp); its deadline checks
+/// are the usual \p cancelled implementation.
+[[nodiscard]] wire::ResponseMessage execute_cancellable(
+    const Session& session, const wire::QueryMessage& query,
+    const std::function<bool()>& cancelled, std::size_t rows_per_check = 8);
 
 /// Frame in, frame out: decode, execute, encode. Malformed frames come
 /// back as an encoded ErrorResponse{kMalformed} carrying the decode

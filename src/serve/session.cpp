@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/clusters.hpp"
 
@@ -42,7 +43,8 @@ BeginResult Session::begin_request() {
 BeginResult Session::await_version(std::uint64_t version) {
   const bool reached =
       cfg_.request_deadline.count() > 0
-          ? reg_->wait_for_version_backoff(version, cfg_.request_deadline)
+          ? reg_->wait_for_version_backoff(version, cfg_.request_deadline,
+                                           cfg_.backoff_seed)
           : reg_->head_version() >= version;
   if (reached) {
     snap_ = reg_->pin();
@@ -157,6 +159,13 @@ std::vector<Hotspot> Session::top_hotspots(std::size_t k,
 }
 
 DensityGrid Session::region_grid(const Extent3& region) const {
+  auto out = region_grid(region, [] { return false; });
+  return std::move(*out);  // never-cancelled scan always produces a grid
+}
+
+std::optional<DensityGrid> Session::region_grid(
+    const Extent3& region, const std::function<bool()>& cancelled,
+    std::int32_t rows_per_check) const {
   const Extent3 r = clip(region);
   if (r.empty())
     throw std::invalid_argument("Session::region_grid: empty region");
@@ -166,7 +175,12 @@ DensityGrid Session::region_grid(const Extent3& region) const {
     return out;
   }
   const double norm = snap_.norm();
-  for (std::int32_t X = r.xlo; X < r.xhi; ++X)
+  const std::int32_t slab = std::max<std::int32_t>(1, rows_per_check);
+  for (std::int32_t X = r.xlo; X < r.xhi; ++X) {
+    // Poll between X-row slabs: frequent enough that an expired deadline
+    // stops an O(volume) scan promptly, rare enough to stay off the
+    // per-voxel hot path.
+    if ((X - r.xlo) % slab == 0 && cancelled()) return std::nullopt;
     for (std::int32_t Y = r.ylo; Y < r.yhi; ++Y) {
       const float* src = snap_.raw->row(X, Y);
       const std::int32_t lo = r.tlo - snap_.raw->extent().tlo;
@@ -174,6 +188,7 @@ DensityGrid Session::region_grid(const Extent3& region) const {
       for (std::int32_t i = 0; i < r.nt(); ++i)
         dst[i] = static_cast<float>(static_cast<double>(src[lo + i]) * norm);
     }
+  }
   return out;
 }
 

@@ -20,6 +20,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "geom/voxel_mapper.hpp"
@@ -45,6 +47,12 @@ struct SessionConfig {
   /// answers, from its last-good pin, but callers can see the data has
   /// stopped advancing. 0 (default) disables the detector.
   std::chrono::milliseconds stall_after{0};
+
+  /// Seed for await_version()'s decorrelated-jitter backoff. Give each
+  /// session a distinct seed (e.g. its reader index) so stalled readers
+  /// re-check the registry on decorrelated schedules instead of waking in
+  /// lockstep on the next publish.
+  std::uint64_t backoff_seed = SnapshotRegistry::kDefaultJitterSeed;
 };
 
 /// How a request's pinned version relates to the live stream.
@@ -143,6 +151,16 @@ class Session {
   /// Normalized density sub-grid over \p region (clipped to the grid).
   /// Throws std::invalid_argument when the clip is empty.
   [[nodiscard]] DensityGrid region_grid(const Extent3& region) const;
+
+  /// Cancellable region_grid: the extraction proceeds in X-row slabs of
+  /// \p rows_per_check rows and polls \p cancelled between slabs; a true
+  /// poll abandons the scan and returns nullopt. The executor's deadline
+  /// enforcement hangs off this — an expired expensive query stops
+  /// touching memory within one slab, not one full volume. Same
+  /// empty-clip contract as region_grid.
+  [[nodiscard]] std::optional<DensityGrid> region_grid(
+      const Extent3& region, const std::function<bool()>& cancelled,
+      std::int32_t rows_per_check = 8) const;
 
  private:
   /// \p region clipped to the served grid extent.

@@ -1,6 +1,9 @@
 #include "serve/snapshot_registry.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "util/backoff.hpp"
 
 namespace stkde::serve {
 
@@ -70,20 +73,22 @@ bool SnapshotRegistry::wait_for_version(
 }
 
 bool SnapshotRegistry::wait_for_version_backoff(
-    std::uint64_t version, std::chrono::milliseconds deadline) const {
+    std::uint64_t version, std::chrono::milliseconds deadline,
+    std::uint64_t jitter_seed) const {
   const auto t_end = std::chrono::steady_clock::now() + deadline;
-  auto slice = std::chrono::milliseconds{1};
+  util::DecorrelatedBackoff backoff(std::chrono::milliseconds{1},
+                                    std::chrono::milliseconds{64},
+                                    jitter_seed);
   util::UniqueLock lk(mu_);
   for (;;) {
     if (head_.version >= version) return true;
     const auto now = std::chrono::steady_clock::now();
     if (now >= t_end) return false;
     const auto wait = std::min<std::chrono::steady_clock::duration>(
-        slice, t_end - now);
+        backoff.next(), t_end - now);
     // Pred-less wait: the loop re-checks head_.version and the deadline on
     // every wake, spurious or signaled.
     (void)cv_.wait_for(lk, wait);
-    slice = std::min(slice * 2, std::chrono::milliseconds{64});
   }
 }
 

@@ -93,14 +93,24 @@ class SnapshotRegistry {
                                       std::chrono::milliseconds timeout) const
       STKDE_EXCLUDES(mu_);
 
-  /// Same predicate, but waited in bounded-exponential-backoff slices
-  /// (1, 2, 4, ... capped at 64 ms): a missed notification — a writer
-  /// thread dead inside a failpoint, a publisher that never wakes waiters
-  /// again — cannot strand the reader past the deadline plus one slice.
+  /// Same predicate, but waited in bounded backoff slices with
+  /// decorrelated jitter (each slice drawn uniformly from [1 ms, 3x the
+  /// previous], capped at 64 ms; util/backoff.hpp): a missed notification
+  /// — a writer thread dead inside a failpoint, a publisher that never
+  /// wakes waiters again — cannot strand the reader past the deadline plus
+  /// one slice, and N stalled readers seeded differently re-check on
+  /// *decorrelated* schedules instead of thundering-herding the registry
+  /// lock in lockstep on every doubling boundary. The slice sequence is a
+  /// pure function of \p jitter_seed, so tests replay exact schedules.
   /// The primitive behind Session::await_version's graceful degradation.
   [[nodiscard]] bool wait_for_version_backoff(
-      std::uint64_t version, std::chrono::milliseconds deadline) const
+      std::uint64_t version, std::chrono::milliseconds deadline,
+      std::uint64_t jitter_seed = kDefaultJitterSeed) const
       STKDE_EXCLUDES(mu_);
+
+  /// Seed for wait_for_version_backoff when the caller does not care about
+  /// decorrelation (single-reader tests, ad-hoc tools).
+  static constexpr std::uint64_t kDefaultJitterSeed = 0x57444B44455631ull;
 
   /// Time since the last publish() installed a head; milliseconds::max()
   /// before the first publish. The writer-stall detector's input.

@@ -300,6 +300,7 @@ Frame encode(const ResponseMessage& msg) {
           static_assert(std::is_same_v<T, ErrorResponse>);
           Frame out = begin_frame(MsgType::kErrorResponse);
           put_u32(out, static_cast<std::uint32_t>(r.code));
+          put_u32(out, r.retry_after_ms);
           put_u32(out, static_cast<std::uint32_t>(r.message.size()));
           out.insert(out.end(), r.message.begin(), r.message.end());
           return out;
@@ -466,10 +467,13 @@ std::optional<ResponseMessage> decode_response_payload(MsgType type, Reader r,
     }
     case MsgType::kErrorResponse: {
       ErrorResponse m;
-      m.code = static_cast<ErrorCode>(r.u32());
+      const std::uint32_t code = r.u32();
+      m.retry_after_ms = r.u32();
       const std::uint32_t len = r.u32();
-      if (r.fail || len > kMaxErrorMessageBytes || len != r.remaining())
+      if (r.fail || code < 1 || code > kMaxErrorCode ||
+          len > kMaxErrorMessageBytes || len != r.remaining())
         break;
+      m.code = static_cast<ErrorCode>(code);
       m.message.assign(reinterpret_cast<const char*>(r.p + r.off), len);
       return ResponseMessage{std::move(m)};
     }

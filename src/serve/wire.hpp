@@ -32,7 +32,8 @@
 ///   kHealthResponse     u64 version, u64 head_version, u8 state
 ///                       (SessionState), u64 staleness_ms, u64 quarantined,
 ///                       u64 quarantine_dropped, u64 wal_lag       (49 B)
-///   kErrorResponse      u32 code (ErrorCode), u32 len, len message bytes
+///   kErrorResponse      u32 code (ErrorCode), u32 retry_after_ms,
+///                       u32 len, len message bytes
 ///
 /// Decoding never throws on malformed input and never allocates more than
 /// the frame itself justifies: every count/extent field is validated
@@ -45,6 +46,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -77,11 +79,20 @@ enum class MsgType : std::uint16_t {
 enum class RegionOp : std::uint8_t { kSum = 0, kMax = 1 };
 
 enum class ErrorCode : std::uint32_t {
-  kMalformed = 1,    ///< frame failed to decode
-  kBadArgument = 2,  ///< well-formed query with unservable arguments
-  kUnavailable = 3,  ///< no published version to answer from yet
-  kInternal = 4,     ///< unexpected server-side failure (fault injection)
+  kMalformed = 1,         ///< frame failed to decode
+  kBadArgument = 2,       ///< well-formed query with unservable arguments
+  kUnavailable = 3,       ///< no published version to answer from yet
+  kInternal = 4,          ///< unexpected server-side failure (fault injection)
+  kDeadlineExceeded = 5,  ///< request deadline expired before completion
+  kOverloaded = 6,        ///< shed by admission control; honor retry_after_ms
+  kShuttingDown = 7,      ///< executor draining; do not retry this endpoint
 };
+
+/// Highest wire-legal ErrorCode value; decoders reject codes outside
+/// [kMalformed, kMaxErrorCode] so a bit-flipped code cannot smuggle an
+/// unknown enum value into typed error handling.
+inline constexpr std::uint32_t kMaxErrorCode =
+    static_cast<std::uint32_t>(ErrorCode::kShuttingDown);
 
 // Queries --------------------------------------------------------------------
 
@@ -157,7 +168,17 @@ struct HealthResponse {
 
 struct ErrorResponse {
   ErrorCode code = ErrorCode::kMalformed;
+  /// Backpressure hint: how long the client should wait before retrying.
+  /// Only meaningful for kOverloaded (admission sheds always set it);
+  /// zero everywhere else. serve/client_retry.hpp honors it.
+  std::uint32_t retry_after_ms = 0;
   std::string message;
+
+  ErrorResponse() = default;
+  ErrorResponse(ErrorCode c, std::string msg)
+      : code(c), message(std::move(msg)) {}
+  ErrorResponse(ErrorCode c, std::uint32_t retry_ms, std::string msg)
+      : code(c), retry_after_ms(retry_ms), message(std::move(msg)) {}
 };
 
 using ResponseMessage =

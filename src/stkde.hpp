@@ -71,8 +71,17 @@
 #include "model/calibration.hpp"
 #include "model/cost_model.hpp"
 
-// Density-as-a-service (link stkde_serve for these).
+// Density-as-a-service (link stkde_serve for these). The overload layer
+// (admission, executor, client retry) rides with it; its utility
+// primitives (injectable clock, token bucket, decorrelated backoff) are
+// header-only.
+#include "serve/admission.hpp"
+#include "serve/client_retry.hpp"
+#include "serve/executor.hpp"
 #include "serve/service.hpp"
 #include "serve/session.hpp"
 #include "serve/snapshot_registry.hpp"
 #include "serve/wire.hpp"
+#include "util/backoff.hpp"
+#include "util/clock.hpp"
+#include "util/token_bucket.hpp"

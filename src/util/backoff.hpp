@@ -1,0 +1,62 @@
+#pragma once
+/// \file backoff.hpp
+/// Decorrelated-jitter backoff (the AWS architecture-blog variant):
+///
+///   sleep_k = min(cap, uniform(base, 3 * sleep_{k-1}))
+///
+/// Plain exponential backoff synchronizes: N readers stalled on the same
+/// registry publish all wake on the same doubling schedule and hammer the
+/// lock together ("thundering herd"). Drawing each step uniformly from
+/// [base, 3 * previous] decorrelates the wake times while keeping the
+/// expected growth exponential and the worst case capped.
+///
+/// Deterministic: the draw stream is a seeded xoshiro256**, so a given
+/// (seed, step count) always produces the same schedule — tests assert
+/// exact sequences, and two sessions seeded differently never sync up.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace stkde::util {
+
+class DecorrelatedBackoff {
+ public:
+  DecorrelatedBackoff(std::chrono::milliseconds base,
+                      std::chrono::milliseconds cap, std::uint64_t seed)
+      : base_(std::max<std::int64_t>(1, base.count())),
+        cap_(std::max<std::int64_t>(base_, cap.count())),
+        prev_(base_),
+        rng_(seed) {}
+
+  /// The next sleep slice. The first call returns base exactly (an eager
+  /// first retry costs nothing); later calls jitter upward.
+  [[nodiscard]] std::chrono::milliseconds next() {
+    if (first_) {
+      first_ = false;
+      return std::chrono::milliseconds{prev_};
+    }
+    const double hi = static_cast<double>(std::min(cap_, prev_ * 3));
+    const double draw = rng_.uniform(static_cast<double>(base_), hi + 1.0);
+    prev_ = std::clamp<std::int64_t>(static_cast<std::int64_t>(draw), base_,
+                                     cap_);
+    return std::chrono::milliseconds{prev_};
+  }
+
+  /// Restart the schedule (a successful attempt resets the pressure).
+  void reset() {
+    prev_ = base_;
+    first_ = true;
+  }
+
+ private:
+  std::int64_t base_;
+  std::int64_t cap_;
+  std::int64_t prev_;
+  bool first_ = true;
+  Xoshiro256 rng_;
+};
+
+}  // namespace stkde::util

@@ -1,0 +1,71 @@
+#pragma once
+/// \file clock.hpp
+/// Injectable monotonic time source. Overload-control code (admission
+/// queues, deadlines, token buckets) must be testable without real sleeps,
+/// so every component that asks "what time is it?" takes a `const Clock*`
+/// and defaults to the steady clock. Tests inject a ManualClock (or any
+/// subclass) and move time by hand — a deadline expiring "mid-request" is
+/// then a deterministic event, not a race against the scheduler.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace stkde::util {
+
+/// Monotonic time source interface. Implementations must be safe to call
+/// from any number of threads concurrently.
+class Clock {
+ public:
+  using duration = std::chrono::steady_clock::duration;
+  using time_point = std::chrono::steady_clock::time_point;
+
+  Clock() = default;
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+  virtual ~Clock() = default;
+
+  [[nodiscard]] virtual time_point now() const = 0;
+};
+
+/// The real wall: std::chrono::steady_clock. Stateless, so one shared
+/// instance serves the whole process.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] time_point now() const override {
+    return std::chrono::steady_clock::now();
+  }
+
+  /// Process-wide instance (the default for every clock-taking component).
+  [[nodiscard]] static const SteadyClock& instance() {
+    static const SteadyClock clock;
+    return clock;
+  }
+};
+
+/// A clock that moves only when told to. Thread-safe: now() is an atomic
+/// load, advance()/set() atomic stores, so a test thread can move time
+/// under concurrent readers (worker threads checking deadlines).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(time_point start = time_point{} +
+                                          std::chrono::hours{1})
+      : ns_(start.time_since_epoch().count()) {}
+
+  [[nodiscard]] time_point now() const override {
+    return time_point{duration{ns_.load(std::memory_order_acquire)}};
+  }
+
+  void advance(duration d) {
+    ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  void set(time_point t) {
+    ns_.store(t.time_since_epoch().count(), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<duration::rep> ns_;
+};
+
+}  // namespace stkde::util

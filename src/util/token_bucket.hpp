@@ -1,0 +1,72 @@
+#pragma once
+/// \file token_bucket.hpp
+/// Classic token-bucket rate limiter over an injectable clock
+/// (util/clock.hpp). The admission controller uses one bucket per session
+/// key to bound any single client's request rate independently of the
+/// global class budgets.
+///
+/// Semantics: the bucket holds up to `burst` tokens and refills at `rate`
+/// tokens per second, continuously (fractional tokens accumulate — a
+/// 10 tokens/s bucket earns 0.5 tokens in 50 ms). try_take() consumes one
+/// token when available; when the bucket is dry, retry_after() reports how
+/// long until one token will have accrued — the number the server returns
+/// as the wire retry-after hint.
+///
+/// NOT internally synchronized: the admission controller already serializes
+/// every admission decision under its own mutex, so the bucket stays a
+/// plain struct (and stays trivially deterministic under ManualClock).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace stkde::util {
+
+class TokenBucket {
+ public:
+  /// \p rate tokens per second, up to \p burst banked. A non-positive rate
+  /// disables the limiter: try_take() always succeeds.
+  TokenBucket(double rate, double burst, Clock::time_point now)
+      : rate_(rate), burst_(std::max(burst, 1.0)), tokens_(burst_), last_(now) {}
+
+  /// Consume one token if the bucket (refilled to \p now) holds one.
+  [[nodiscard]] bool try_take(Clock::time_point now) {
+    if (rate_ <= 0.0) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// How long from \p now until one full token has accrued (zero when one
+  /// is already banked). Only meaningful for an enabled bucket.
+  [[nodiscard]] std::chrono::milliseconds retry_after(Clock::time_point now) {
+    if (rate_ <= 0.0) return std::chrono::milliseconds{0};
+    refill(now);
+    if (tokens_ >= 1.0) return std::chrono::milliseconds{0};
+    const double missing = 1.0 - tokens_;
+    const double ms = missing / rate_ * 1000.0;
+    return std::chrono::milliseconds{
+        static_cast<std::int64_t>(ms) + 1};  // round up: never advise 0
+  }
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  void refill(Clock::time_point now) {
+    if (now <= last_) return;  // ManualClock::set may move backwards in tests
+    const double dt =
+        std::chrono::duration<double>(now - last_).count();
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace stkde::util

@@ -5,11 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <future>
+#include <memory>
 #include <vector>
 
 #include "data/generator.hpp"
 #include "helpers.hpp"
+#include "sched/thread_pool.hpp"
+#include "serve/executor.hpp"
+#include "serve/snapshot_registry.hpp"
 #include "serve/wire.hpp"
 #include "util/rng.hpp"
 
@@ -152,6 +159,14 @@ std::vector<serve::wire::Frame> wire_corpus() {
   }
   out.push_back(w::encode(w::ResponseMessage{w::ErrorResponse{
       w::ErrorCode::kBadArgument, "fuzz"}}));
+  // The overload-control error frames: kOverloaded carries a retry-after
+  // hint, the shutdown/deadline codes ride the same layout.
+  out.push_back(w::encode(w::ResponseMessage{w::ErrorResponse{
+      w::ErrorCode::kOverloaded, 125, "shed"}}));
+  out.push_back(w::encode(w::ResponseMessage{w::ErrorResponse{
+      w::ErrorCode::kDeadlineExceeded, "late"}}));
+  out.push_back(w::encode(w::ResponseMessage{w::ErrorResponse{
+      w::ErrorCode::kShuttingDown, "drain"}}));
   return out;
 }
 
@@ -206,6 +221,100 @@ TEST_P(WireFuzzTest, MutatedFramesNeverCrashTheDecoders) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, WireFuzzTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// Admission-path fuzz: the same mutation net, but driven through the
+// overload executor instead of the bare decoders. The contract under fire
+// is the executor's — *every* submitted frame gets exactly one response
+// frame (malformed, shed, expired, or answered), promptly and decodably;
+// hostile bytes can neither block the server nor allocate beyond the
+// frame, and tight budgets mean the shed path itself is fuzzed too.
+
+class ExecutorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorFuzzTest, MutatedFramesAlwaysGetAnAnswer) {
+  namespace w = serve::wire;
+  util::Xoshiro256 rng(GetParam() * 977 + 3);
+
+  DomainSpec dom;
+  dom.gx = dom.gy = 8.0;
+  dom.gt = 4.0;
+  dom.sres = 1.0;
+  dom.tres = 1.0;
+  serve::SnapshotRegistry reg(dom);
+  {
+    auto grid = std::make_shared<DensityGrid>();
+    grid->allocate(Extent3{0, 8, 0, 8, 0, 4});
+    grid->fill(0.5f);
+    reg.publish(serve::Snapshot{std::move(grid), 10, 1});
+  }
+  sched::ThreadPool pool(2);
+  serve::ExecutorConfig cfg;
+  // Deliberately tiny budgets: a burst of valid mutants must hit the shed
+  // path, not just the run path.
+  cfg.admission.budgets = {serve::ClassBudget{1, 2}, serve::ClassBudget{1, 2},
+                           serve::ClassBudget{1, 1}};
+  cfg.session.request_deadline = std::chrono::milliseconds{2000};
+  serve::RequestExecutor exec(reg, pool, cfg);
+
+  const std::vector<w::Frame> corpus = wire_corpus();
+  std::vector<std::future<w::Frame>> futures;
+  for (int round = 0; round < 120; ++round) {
+    w::Frame f = corpus[rng.below(corpus.size())];
+    switch (rng.below(4)) {
+      case 0:
+        f.resize(rng.below(f.size() + 1));
+        break;
+      case 1:
+        for (std::uint64_t k = 1 + rng.below(8); k-- > 0 && !f.empty();)
+          f[rng.below(f.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        break;
+      case 2: {
+        const w::Frame& other = corpus[rng.below(corpus.size())];
+        const std::size_t cut = rng.below(f.size() + 1);
+        const std::size_t paste = rng.below(other.size() + 1);
+        f.resize(cut);
+        f.insert(f.end(), other.begin() + static_cast<std::ptrdiff_t>(paste),
+                 other.end());
+        break;
+      }
+      default: {
+        f.assign(rng.below(64), 0);
+        for (auto& b : f) b = static_cast<std::uint8_t>(rng.below(256));
+        if (f.size() >= 4 && rng.below(2) == 0) {
+          f[0] = 'S';
+          f[1] = 'K';
+          f[2] = 'W';
+          f[3] = '1';
+        }
+        break;
+      }
+    }
+    futures.push_back(exec.submit(f.data(), f.size(), 1 + rng.below(4)));
+  }
+
+  std::size_t answered = 0;
+  for (auto& fut : futures) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds{30}),
+              std::future_status::ready)
+        << "executor left a frame unanswered";
+    const w::Frame resp = fut.get();
+    EXPECT_TRUE(
+        w::decode_response(resp.data(), resp.size()).has_value())
+        << "undecodable response frame";
+    ++answered;
+  }
+  EXPECT_EQ(answered, futures.size());
+
+  // Dispositions must account for every submission, and the queues must
+  // never have grown past the configured depths.
+  const serve::ExecutorStats st = exec.stats();
+  EXPECT_EQ(st.submitted, futures.size());
+  EXPECT_LE(st.queue_high_water, std::size_t{2 + 2 + 1});
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ExecutorFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace stkde

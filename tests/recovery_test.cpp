@@ -913,6 +913,85 @@ TEST_F(Chaos, CrashAtEverySiteRecoversSerial) {
       "serial");
 }
 
+TEST_F(Chaos, CrashDuringRecoveryLeavesASecondRecoveryIntact) {
+  // Crashing *inside* recovery itself must not damage the durable state a
+  // later recovery reads: DurableLog::recover only repairs (torn-tail
+  // truncation, itself idempotent) and WAL replay mutates nothing but the
+  // in-memory estimator being built. Plant crashes at both recovery-path
+  // sites and prove a second, undisturbed recovery still reconstructs the
+  // reference exactly.
+  const auto tiny = stkde::testing::make_tiny(2000, 3, 2);
+  const auto ops = make_ops(tiny.points, 250, /*window=*/4.0);
+  const std::string dir = fresh_dir("chaos_rec_crash");
+  core::StreamConfig cfg;
+  cfg.durability.dir = dir;
+  cfg.durability.checkpoint_events = 1000;  // checkpoint mid-run: a real
+                                            // WAL tail remains to replay
+  {
+    core::IncrementalEstimator a(tiny.domain, tiny.params, cfg);
+    feed(a, ops, 0);
+    ASSERT_GT(a.stats().durable_checkpoints, 0u);
+  }
+
+  // The undisturbed reference recovery.
+  DensityGrid want(tiny.domain.dims());
+  std::size_t want_live = 0;
+  std::uint64_t want_seq = 0;
+  {
+    core::IncrementalEstimator ref(tiny.domain, tiny.params, cfg);
+    const core::RecoverReport rep = ref.recover();
+    ASSERT_TRUE(rep.checkpoint_loaded);
+    ASSERT_GT(rep.batches_replayed, 0u)
+        << "no WAL tail: stream.recover.replay would go untested";
+    want = ref.snapshot();
+    want_live = ref.live_count();
+    want_seq = rep.last_batch_seq;
+  }
+  const double tol = 1e-5 * static_cast<double>(want.max_value());
+  ASSERT_GT(tol, 0.0);
+
+  for (const std::string site : {"durable.recover", "stream.recover.replay"}) {
+    SCOPED_TRACE(site);
+    // Probe how often one recovery traverses this site.
+    fp::arm(site, fp::Spec{});
+    {
+      core::IncrementalEstimator probe(tiny.domain, tiny.params, cfg);
+      (void)probe.recover();
+    }
+    const std::uint64_t h = fp::hits(site);
+    fp::disarm_all();
+    ASSERT_GT(h, 0u) << "site never traversed during recovery";
+
+    // Crash at the midpoint of the recovery replay...
+    fp::Spec crash;
+    crash.action = fp::Action::kCrash;
+    crash.after_hits = std::max<std::uint64_t>(1, h / 2);
+    fp::arm(site, crash);
+    {
+      core::IncrementalEstimator victim(tiny.domain, tiny.params, cfg);
+      EXPECT_THROW((void)victim.recover(), util::InjectedCrash);
+    }
+    fp::disarm_all();
+
+    // ...and the second recovery sees durable state untouched by the first
+    // attempt's death: same sequence, same live set, same grid. No writes
+    // here — both sites must recover against the same durable state.
+    core::IncrementalEstimator again(tiny.domain, tiny.params, cfg);
+    const core::RecoverReport rep = again.recover();
+    EXPECT_EQ(rep.last_batch_seq, want_seq);
+    EXPECT_EQ(again.live_count(), want_live);
+    EXPECT_LE(again.snapshot().max_abs_diff(want), tol);
+  }
+
+  // The twice-recovered estimator is live, not a museum piece. Once, after
+  // the site loop: this add appends to the WAL, so doing it between sites
+  // would shift the durable state the next site recovers against.
+  core::IncrementalEstimator live(tiny.domain, tiny.params, cfg);
+  (void)live.recover();
+  live.add(PointSet{ops.back().pts.begin(), ops.back().pts.begin() + 3});
+  EXPECT_EQ(live.batch_seq(), want_seq + 1);
+}
+
 TEST_F(Chaos, CrashAtEverySiteRecoversSharded) {
   run_crash_matrix(
       /*threads=*/2, kMatrixEventsSharded, /*batch=*/400,

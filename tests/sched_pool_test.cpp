@@ -3,10 +3,44 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <vector>
 
 namespace stkde::sched {
 namespace {
+
+/// Holds the pool's one worker on a gate so tests can stack the queues
+/// deterministically before any dequeue happens.
+class WorkerGate {
+ public:
+  explicit WorkerGate(ThreadPool& pool) {
+    pool.submit([this] {
+      std::unique_lock<std::mutex> lk(mu_);
+      started_ = true;
+      cv_.notify_all();
+      while (!open_) cv_.wait(lk);
+    });
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!started_) cv_.wait(lk);
+  }
+
+  void open() {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  ~WorkerGate() { open(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool open_ = false;
+};
 
 TEST(ThreadPool, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
@@ -70,6 +104,94 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     // No wait_idle: destructor must still run everything.
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, StrictPriorityOrderAtDequeue) {
+  ThreadPool pool(1);
+  WorkerGate gate(pool);  // queue everything before the worker frees up
+  std::mutex mu;
+  std::vector<int> order;
+  const auto record = [&](int v) {
+    return [&mu, &order, v] {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(v);
+    };
+  };
+  pool.submit(record(30), Priority::kLow);
+  pool.submit(record(10), Priority::kHigh);
+  pool.submit(record(20));  // plain submit is kNormal
+  pool.submit(record(31), Priority::kLow);
+  pool.submit(record(11), Priority::kHigh);
+  gate.open();
+  pool.wait_idle();
+  // Strict levels, FIFO within a level.
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30, 31}));
+}
+
+TEST(ThreadPool, CancelledTasksAreSkippedAtDequeue) {
+  ThreadPool pool(1);
+  WorkerGate gate(pool);
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; }, Priority::kNormal, flag);
+  pool.submit([&] { ++ran; }, Priority::kNormal, flag);
+  pool.submit([&] { ++ran; }, Priority::kNormal);  // no token: must run
+  // One store cancels every queued task tagged with the flag — none of
+  // them ever starts.
+  flag->store(true);
+  gate.open();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.cancelled(), 2u);
+}
+
+TEST(ThreadPool, CancellingEverythingStillReachesIdle) {
+  // The idle invariant survives an all-cancelled queue: wait_idle must
+  // return even though no task body ever runs after the gate opens.
+  ThreadPool pool(1);
+  WorkerGate gate(pool);
+  auto flag = std::make_shared<std::atomic<bool>>(true);  // born cancelled
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] { ++ran; }, Priority::kLow, flag);
+  gate.open();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.cancelled(), 8u);
+  // The pool is fully usable afterwards.
+  pool.submit([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, CancelTokenDoesNotAffectRunningTasks) {
+  ThreadPool pool(2);
+  auto flag = std::make_shared<std::atomic<bool>>(false);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  pool.submit(
+      [&] {
+        std::unique_lock<std::mutex> lk(mu);
+        entered = true;
+        cv.notify_all();
+        while (!release) cv.wait(lk);
+      },
+      Priority::kNormal, flag);
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    while (!entered) cv.wait(lk);
+  }
+  // Cancelling after dequeue is a no-op: the task finishes normally.
+  flag->store(true);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+    cv.notify_all();
+  }
+  pool.wait_idle();
+  EXPECT_EQ(pool.cancelled(), 0u);
 }
 
 }  // namespace

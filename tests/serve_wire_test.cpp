@@ -132,12 +132,92 @@ TEST(ServeWireGolden, ErrorResponseBytes) {
       'S', 'K', 'W', '1',
       0xFF, 0x00,
       0x00, 0x00,
-      0x0A, 0x00, 0x00, 0x00,  // payload length = 10
+      0x0E, 0x00, 0x00, 0x00,  // payload length = 14
       0x02, 0x00, 0x00, 0x00,  // code = kBadArgument
+      0x00, 0x00, 0x00, 0x00,  // retry_after_ms = 0 (not a shed)
       0x02, 0x00, 0x00, 0x00,  // message length = 2
       'n', 'o',
   });
   EXPECT_EQ(f, expected);
+}
+
+TEST(ServeWireGolden, OverloadedResponseBytes) {
+  // The backpressure frame: kOverloaded always carries the server's
+  // retry-after hint so clients can back off without guessing.
+  const Frame f = encode(ResponseMessage{
+      ErrorResponse{ErrorCode::kOverloaded, 250, "shed"}});
+  const Frame expected = frame_of({
+      'S', 'K', 'W', '1',
+      0xFF, 0x00,
+      0x00, 0x00,
+      0x10, 0x00, 0x00, 0x00,  // payload length = 16
+      0x06, 0x00, 0x00, 0x00,  // code = kOverloaded
+      0xFA, 0x00, 0x00, 0x00,  // retry_after_ms = 250
+      0x04, 0x00, 0x00, 0x00,  // message length = 4
+      's', 'h', 'e', 'd',
+  });
+  EXPECT_EQ(f, expected);
+}
+
+TEST(ServeWireGolden, DeadlineExceededResponseBytes) {
+  const Frame f = encode(ResponseMessage{
+      ErrorResponse{ErrorCode::kDeadlineExceeded, "late"}});
+  const Frame expected = frame_of({
+      'S', 'K', 'W', '1',
+      0xFF, 0x00,
+      0x00, 0x00,
+      0x10, 0x00, 0x00, 0x00,  // payload length = 16
+      0x05, 0x00, 0x00, 0x00,  // code = kDeadlineExceeded
+      0x00, 0x00, 0x00, 0x00,  // retry_after_ms = 0
+      0x04, 0x00, 0x00, 0x00,  // message length = 4
+      'l', 'a', 't', 'e',
+  });
+  EXPECT_EQ(f, expected);
+}
+
+TEST(ServeWireGolden, ShuttingDownResponseBytes) {
+  const Frame f = encode(ResponseMessage{
+      ErrorResponse{ErrorCode::kShuttingDown, "bye"}});
+  const Frame expected = frame_of({
+      'S', 'K', 'W', '1',
+      0xFF, 0x00,
+      0x00, 0x00,
+      0x0F, 0x00, 0x00, 0x00,  // payload length = 15
+      0x07, 0x00, 0x00, 0x00,  // code = kShuttingDown
+      0x00, 0x00, 0x00, 0x00,  // retry_after_ms = 0
+      0x03, 0x00, 0x00, 0x00,  // message length = 3
+      'b', 'y', 'e',
+  });
+  EXPECT_EQ(f, expected);
+}
+
+TEST(ServeWireGolden, ErrorRoundTripEveryCode) {
+  // Every wire-legal code survives a round trip with its retry hint.
+  for (std::uint32_t c = 1; c <= kMaxErrorCode; ++c) {
+    ErrorResponse in{static_cast<ErrorCode>(c), c * 10, "m"};
+    const auto* out = decode_response_as<ErrorResponse>(
+        encode(ResponseMessage{in}));
+    ASSERT_NE(out, nullptr) << "code " << c;
+    EXPECT_EQ(out->code, in.code);
+    EXPECT_EQ(out->retry_after_ms, c * 10);
+    EXPECT_EQ(out->message, "m");
+  }
+}
+
+TEST(ServeWireGolden, ErrorCodeOutOfRangeRejected) {
+  // A bit-flipped code must not smuggle an unknown enum value through the
+  // typed error path: 0 and kMaxErrorCode+1 both decode to nullopt.
+  for (const std::uint32_t bad : {0u, kMaxErrorCode + 1, 0xFFFFFFFFu}) {
+    Frame f = encode(ResponseMessage{
+        ErrorResponse{ErrorCode::kMalformed, "x"}});
+    // Patch the code field in place (payload starts at kHeaderBytes).
+    for (int i = 0; i < 4; ++i)
+      f[kHeaderBytes + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((bad >> (8 * i)) & 0xFF);
+    std::string err;
+    EXPECT_FALSE(decode_response(f.data(), f.size(), &err).has_value())
+        << "code " << bad;
+  }
 }
 
 // Round-trips ---------------------------------------------------------------
