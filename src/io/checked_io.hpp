@@ -19,6 +19,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -44,6 +45,21 @@ inline void checked_write(std::FILE* f, const void* data, std::size_t n,
                           const char* who, const std::string& path) {
   if (n == 0) return;
   if (std::fwrite(data, 1, n, f) != n) throw_io_error(who, "write", path);
+}
+
+/// ostream twin of checked_write: write all \p n bytes to \p os or throw.
+/// ostream::write already refuses to touch a failed stream, so checking
+/// the state once afterwards catches both the prior-failure and the
+/// short-write case; errno (when the streambuf set it) rides along in
+/// the message just like the FILE* helpers.
+inline void checked_stream_write(std::ostream& os, const void* data,
+                                 std::size_t n, const char* who,
+                                 const std::string& path) {
+  if (n == 0) return;
+  errno = 0;
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(n));
+  if (!os) throw_io_error(who, "write", path);
 }
 
 /// fflush \p f or throw.

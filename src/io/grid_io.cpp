@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "io/checked_io.hpp"
+
 namespace stkde::io {
 
 namespace {
@@ -19,25 +21,26 @@ std::uint64_t grid_payload_bytes(const DensityGrid& grid) {
 }
 
 void save_grid(std::ostream& out, const DensityGrid& grid) {
-  out.write(kMagic, sizeof(kMagic));
+  // Checkpoint/recovery feeds through here (core/durability.cpp), so every
+  // write is checked: a short write mid-payload must fail the save, not
+  // surface later as a truncated checkpoint that recovery half-loads.
+  checked_stream_write(out, kMagic, sizeof(kMagic), "grid_io", "stream");
   const Extent3& e = grid.extent();
   const std::array<std::int32_t, 6> hdr = {e.xlo, e.xhi, e.ylo,
                                            e.yhi, e.tlo, e.thi};
-  out.write(reinterpret_cast<const char*>(hdr.data()), sizeof(hdr));
+  checked_stream_write(out, hdr.data(), sizeof(hdr), "grid_io", "stream");
   if (grid.padded()) {
     // The on-disk payload is always dense: write row by row, skipping the
     // in-memory alignment padding, so padded and packed grids round-trip to
     // identical files.
-    const auto row_bytes =
-        static_cast<std::streamsize>(sizeof(float)) * e.nt();
+    const std::size_t row_bytes = sizeof(float) * static_cast<std::size_t>(e.nt());
     for (std::int32_t X = e.xlo; X < e.xhi; ++X)
       for (std::int32_t Y = e.ylo; Y < e.yhi; ++Y)
-        out.write(reinterpret_cast<const char*>(grid.row(X, Y)), row_bytes);
+        checked_stream_write(out, grid.row(X, Y), row_bytes, "grid_io",
+                             "stream");
   } else {
-    out.write(reinterpret_cast<const char*>(grid.data()),
-              static_cast<std::streamsize>(grid.bytes()));
+    checked_stream_write(out, grid.data(), grid.bytes(), "grid_io", "stream");
   }
-  if (!out) throw std::runtime_error("grid_io: write failed");
 }
 
 void save_grid(const std::string& path, const DensityGrid& grid) {

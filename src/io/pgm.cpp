@@ -21,6 +21,7 @@ void write_pgm(const std::string& path, const Field2D& f, double gamma) {
       row[static_cast<std::size_t>(x)] =
           static_cast<unsigned char>(std::lround(v * 255.0));
     }
+    // stkde-lint: allow(checked-io): debug image export, not a durability path; the single post-loop stream check below is the contract
     out.write(reinterpret_cast<const char*>(row.data()),
               static_cast<std::streamsize>(row.size()));
   }

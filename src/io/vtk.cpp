@@ -49,6 +49,7 @@ void write_vtk(const std::string& path, const DensityGrid& grid,
       std::size_t i = 0;
       for (std::int32_t X = e.xlo; X < e.xhi; X += stride)
         row[i++] = to_big_endian(grid.at(X, Y, T));
+      // stkde-lint: allow(checked-io): debug visualization export, not a durability path; the single post-loop stream check below is the contract
       out.write(reinterpret_cast<const char*>(row.data()),
                 static_cast<std::streamsize>(i * sizeof(float)));
     }

@@ -185,6 +185,7 @@ WalWriter::WalWriter(std::string path, WalSync sync, bool truncate)
 
 WalWriter::~WalWriter() {
   if (f_ != nullptr) {
+    // stkde-lint: allow(checked-io): destructor must not throw; best-effort flush before close, durability is sync()'s job
     std::fflush(f_);
     std::fclose(f_);
   }

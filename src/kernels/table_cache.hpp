@@ -44,6 +44,16 @@
 
 namespace stkde::kernels {
 
+/// Bit-pattern key for an exact-mode fractional offset. `+ 0.0` collapses
+/// -0.0 onto +0.0 before taking the bits: voxel-boundary points can land on
+/// either zero, and the two patterns would key bitwise-identical tables into
+/// different slots (the PR 5 aliasing bug). Every float→integer keying site
+/// must route through this helper or spell the idiom inline — the float-key
+/// lint check (docs/LINT.md) enforces it.
+[[nodiscard]] inline std::uint64_t normalize_key(double v) {
+  return std::bit_cast<std::uint64_t>(v + 0.0);
+}
+
 /// Cache configuration; defaults are the PB-TILE defaults.
 struct TableCacheConfig {
   /// 0 = exact offset keys; Q > 0 = QxQ sub-voxel lattice bins.
@@ -117,11 +127,8 @@ class SpatialTableCache {
               : static_cast<std::size_t>(mix(kx, ky) % slots_.size());
       s = &slots_[idx];
     } else if (quant_ == 0) {
-      // + 0.0 collapses -0.0 onto +0.0: voxel-boundary points can land on
-      // either sign, and the two bit patterns would key bitwise-identical
-      // tables into different slots.
-      kx = std::bit_cast<std::uint64_t>(fx + 0.0);
-      ky = std::bit_cast<std::uint64_t>(fy + 0.0);
+      kx = normalize_key(fx);
+      ky = normalize_key(fy);
       s = &slots_[static_cast<std::size_t>(mix(kx, ky) % slots_.size())];
     } else {
       // Quantized mode, out-of-lattice offset (clamped voxel): exact fill

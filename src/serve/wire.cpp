@@ -442,9 +442,10 @@ std::optional<ResponseMessage> decode_response_payload(MsgType type, Reader r,
           grid_bytes)
         break;
       try {
+        // Iterator-range construction: uint8_t→char conversion per element,
+        // no pointer-type pun on the payload buffer.
         std::istringstream in(
-            std::string(reinterpret_cast<const char*>(r.p + r.off),
-                        grid_bytes),
+            std::string(r.p + r.off, r.p + r.off + grid_bytes),
             std::ios::binary);
         m.grid = io::load_grid(in);
       } catch (const std::exception&) {
@@ -474,7 +475,7 @@ std::optional<ResponseMessage> decode_response_payload(MsgType type, Reader r,
           len > kMaxErrorMessageBytes || len != r.remaining())
         break;
       m.code = static_cast<ErrorCode>(code);
-      m.message.assign(reinterpret_cast<const char*>(r.p + r.off), len);
+      m.message.assign(r.p + r.off, r.p + r.off + len);
       return ResponseMessage{std::move(m)};
     }
     default:

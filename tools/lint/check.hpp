@@ -1,0 +1,80 @@
+#pragma once
+/// \file check.hpp
+/// The check-registry architecture of stkde-lint. Each project invariant is
+/// one `Check` subclass registered in build_registry() (checks/registry.cpp);
+/// the driver lexes every file into a FileContext and hands it to each
+/// enabled check. Adding a rule means adding one file under checks/ and one
+/// line to the registry — nothing else changes.
+///
+/// Checks are *scoped*: each one decides from the repo-relative path whether
+/// a file is in its jurisdiction (e.g. checked-io only patrols the
+/// durability-relevant `src/io/` + `src/core/`). Paths are normalized to
+/// forward slashes relative to --root, so fixtures under
+/// tools/lint/fixtures/{fire,clean}/ exercise the same scoping logic as the
+/// real tree.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "token.hpp"
+
+namespace stkde::lint {
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  std::string check;    ///< registered check name
+  std::string message;  ///< one-line rationale, printed after the name
+};
+
+/// One parsed `// stkde-lint: allow(<check>): <reason>` comment — or a
+/// comment that *tried* to be one (malformed=true) so suppression-audit can
+/// flag typos instead of silently ignoring them.
+struct Suppression {
+  int line = 0;
+  std::string check;
+  std::string reason;
+  bool malformed = false;
+  std::string raw;  ///< original comment text, for diagnostics
+  bool used = false;
+};
+
+struct FileContext {
+  std::string path;            ///< repo-relative, '/'-separated
+  Tokens code;                 ///< comments stripped
+  Tokens comments;             ///< comments only
+  std::vector<Suppression> suppressions;
+
+  [[nodiscard]] bool in_dir(std::string_view prefix) const {
+    return path.compare(0, prefix.size(), prefix) == 0;
+  }
+  [[nodiscard]] bool is(std::string_view p) const { return path == p; }
+};
+
+class Check {
+ public:
+  virtual ~Check() = default;
+  /// Registered name — what suppressions and --check refer to.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// One-line rationale shown by --list-checks (and docs/LINT.md).
+  [[nodiscard]] virtual std::string_view rationale() const = 0;
+  virtual void run(const FileContext& ctx,
+                   std::vector<Finding>& out) const = 0;
+
+ protected:
+  void report(const FileContext& ctx, int line, std::string message,
+              std::vector<Finding>& out) const {
+    out.push_back(Finding{ctx.path, line, std::string(name()),
+                          std::move(message)});
+  }
+};
+
+using Registry = std::vector<std::unique_ptr<Check>>;
+
+/// All project checks, in display order. suppression-audit is constructed
+/// last so it knows every other registered name.
+Registry build_registry();
+
+}  // namespace stkde::lint

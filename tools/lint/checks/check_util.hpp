@@ -1,0 +1,57 @@
+#pragma once
+/// \file check_util.hpp
+/// Token-pattern helpers shared by the project checks.
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "../token.hpp"
+
+namespace stkde::lint {
+
+inline bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+inline bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// True when code[i] is the identifier \p member in member-call position:
+/// preceded by '.' or '->' and followed by '('.
+inline bool is_member_call(const Tokens& code, std::size_t i,
+                           std::string_view member) {
+  return i > 0 && i + 1 < code.size() && is_ident(code[i], member) &&
+         (is_punct(code[i - 1], ".") || is_punct(code[i - 1], "->")) &&
+         is_punct(code[i + 1], "(");
+}
+
+/// True when code[i] is the identifier \p fn in call position (followed by
+/// '(') and NOT in member position — a free/std function call.
+inline bool is_free_call(const Tokens& code, std::size_t i,
+                         std::string_view fn) {
+  if (!is_ident(code[i], fn)) return false;
+  if (i + 1 >= code.size() || !is_punct(code[i + 1], "(")) return false;
+  return i == 0 ||
+         (!is_punct(code[i - 1], ".") && !is_punct(code[i - 1], "->"));
+}
+
+/// Zero-valued floating literal ("0.0", "0.", ".0", "0.0f", "0e0", …).
+/// Integer zero ("0") does not count: the ±0.0 normalization idiom must be
+/// a floating add, or it can be constant-folded out on integer paths.
+inline bool is_zero_float_literal(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  const std::string& s = t.text;
+  if (s.find('.') == std::string::npos &&
+      s.find('e') == std::string::npos && s.find('E') == std::string::npos)
+    return false;
+  if (s.find('x') != std::string::npos || s.find('X') != std::string::npos)
+    return false;  // hex floats are never the idiom
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && v == 0.0;
+}
+
+}  // namespace stkde::lint

@@ -1,0 +1,68 @@
+/// checked-io — unchecked write-side stdio is forbidden in the
+/// durability-relevant directories (src/io/, src/core/) outside
+/// io/checked_io.hpp.
+///
+/// Origin: PR 7's WAL/checkpoint layer initially wrote with raw fwrite —
+/// a short write (disk full, closed stream) surfaced as a bare "append
+/// failed" with no errno, and an unchecked fsync turned "durable" into
+/// "probably durable". PR 8 centralized the checks in io/checked_io.hpp
+/// but left grid_io/vtk/pgm (and one destructor fflush) on raw writes;
+/// grid_io feeds the durable checkpoint payload, so the gap was live.
+/// Flags both FILE* write calls (fwrite/fflush/fsync/fprintf/fputs/fputc)
+/// and ostream member .write() — error checking must go through the
+/// checked_* helpers or carry a justified allow(checked-io).
+
+#include "check_util.hpp"
+#include "checks.hpp"
+
+namespace stkde::lint {
+
+namespace {
+
+constexpr std::string_view kRawWriteFns[] = {
+    "fwrite", "fflush", "fsync", "fdatasync",
+    "fprintf", "vfprintf", "fputs", "fputc", "putc",
+};
+
+class CheckedIoCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "checked-io"; }
+  [[nodiscard]] std::string_view rationale() const override {
+    return "write-side stdio in durability dirs must go through "
+           "io/checked_io.hpp so short writes throw with errno";
+  }
+
+  void run(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/io/") && !ctx.in_dir("src/core/")) return;
+    if (ctx.is("src/io/checked_io.hpp")) return;
+    const Tokens& code = ctx.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (const std::string_view fn : kRawWriteFns) {
+        if (is_free_call(code, i, fn)) {
+          report(ctx, code[i].line,
+                 "raw " + code[i].text +
+                     " — use io/checked_io.hpp (checked_write/checked_flush/"
+                     "checked_fsync) so failures throw with errno detail, or "
+                     "justify with allow(checked-io)",
+                 out);
+          break;
+        }
+      }
+      if (is_member_call(code, i, "write")) {
+        report(ctx, code[i].line,
+               "unchecked stream .write() — use io/checked_io.hpp "
+               "checked_stream_write (throws with errno on failure), or "
+               "justify with allow(checked-io)",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_checked_io_check() {
+  return std::make_unique<CheckedIoCheck>();
+}
+
+}  // namespace stkde::lint

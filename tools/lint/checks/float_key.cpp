@@ -1,0 +1,93 @@
+/// float-key — float→integer bit-pattern keying in the cache/partition
+/// layers (src/kernels/, src/partition/) must normalize ±0.0.
+///
+/// Origin: PR 5's cache-slot aliasing bug. SpatialTableCache keys slots on
+/// the bit pattern of the sub-voxel offset; voxel-boundary points land on
+/// -0.0 or +0.0 depending on rounding, the two patterns differ in the sign
+/// bit, and bitwise-identical tables were filled into two slots — halving
+/// the effective cache. The fix is one add: `bit_cast<u64>(x + 0.0)`
+/// collapses -0.0 onto +0.0 (IEEE: -0.0 + 0.0 == +0.0). This check makes
+/// the idiom mandatory for every integral bit_cast in the keying layers:
+/// the argument must contain `+ 0.0` or go through the normalize_key
+/// helper (kernels/table_cache.hpp).
+///
+/// Lexical honesty: the check cannot see types, so an integral→integral
+/// bit_cast in these directories would also be flagged — suppress with a
+/// justification if one ever appears (none exists today; serialization
+/// bit_casts live in io/ and serve/, out of scope, where preserving the
+/// sign of zero is exactly right).
+
+#include "check_util.hpp"
+#include "checks.hpp"
+
+namespace stkde::lint {
+
+namespace {
+
+bool is_integral_type_ident(const Token& t) {
+  if (t.kind != TokKind::kIdent) return false;
+  const std::string& s = t.text;
+  return s == "size_t" || s == "uintptr_t" || s == "intptr_t" ||
+         s.compare(0, 4, "uint") == 0 || s.compare(0, 3, "int") == 0;
+}
+
+class FloatKeyCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "float-key"; }
+  [[nodiscard]] std::string_view rationale() const override {
+    return "bit-pattern cache keys must collapse -0.0 onto +0.0 "
+           "(`+ 0.0` or normalize_key) — the PR 5 slot-aliasing bug class";
+  }
+
+  void run(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/kernels/") && !ctx.in_dir("src/partition/")) return;
+    const Tokens& code = ctx.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (!is_ident(code[i], "bit_cast")) continue;
+      std::size_t j = i + 1;
+      if (j >= code.size() || !is_punct(code[j], "<")) continue;
+      // Template argument list (no nested <> occurs in a bit_cast target).
+      bool integral_target = false;
+      ++j;
+      while (j < code.size() && !is_punct(code[j], ">")) {
+        if (is_integral_type_ident(code[j])) integral_target = true;
+        ++j;
+      }
+      if (!integral_target || j + 1 >= code.size() ||
+          !is_punct(code[j + 1], "(")) {
+        continue;
+      }
+      // Argument expression: scan to the matching ')'.
+      std::size_t depth = 1;
+      bool normalized = false;
+      for (std::size_t k = j + 2; k < code.size() && depth > 0; ++k) {
+        if (is_punct(code[k], "(")) {
+          ++depth;
+        } else if (is_punct(code[k], ")")) {
+          --depth;
+        } else if (is_ident(code[k], "normalize_key")) {
+          normalized = true;
+        } else if (is_punct(code[k], "+") && k + 1 < code.size() &&
+                   is_zero_float_literal(code[k + 1])) {
+          normalized = true;
+        }
+      }
+      if (!normalized) {
+        report(ctx, code[i].line,
+               "float bit-pattern key without ±0.0 normalization — "
+               "bit_cast the value `+ 0.0` or use normalize_key "
+               "(kernels/table_cache.hpp); -0.0 and +0.0 key identical "
+               "tables into different slots",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_float_key_check() {
+  return std::make_unique<FloatKeyCheck>();
+}
+
+}  // namespace stkde::lint

@@ -1,0 +1,60 @@
+/// raw-mutex — std synchronization primitives are forbidden outside
+/// util/mutex.hpp.
+///
+/// Origin: PR 8 annotated every lock with Clang Thread Safety Analysis via
+/// the util::Mutex wrappers, but the manual sweep missed the raw
+/// std::mutex/std::unique_lock in sched/dag_scheduler.cpp — state invisible
+/// to the analysis, exactly the gap this check closes. A lock the analyzer
+/// cannot see is a lock whose discipline nobody machine-checks.
+
+#include "check_util.hpp"
+#include "checks.hpp"
+
+namespace stkde::lint {
+
+namespace {
+
+constexpr std::string_view kForbidden[] = {
+    "mutex",          "timed_mutex",       "recursive_mutex",
+    "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+    "lock_guard",     "unique_lock",       "scoped_lock",
+    "shared_lock",    "condition_variable", "condition_variable_any",
+};
+
+class RawMutexCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "raw-mutex"; }
+  [[nodiscard]] std::string_view rationale() const override {
+    return "std:: synchronization outside util/mutex.hpp is invisible to "
+           "Clang Thread Safety Analysis";
+  }
+
+  void run(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/") || ctx.is("src/util/mutex.hpp")) return;
+    const Tokens& code = ctx.code;
+    for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+      if (!is_ident(code[i], "std") || !is_punct(code[i + 1], "::")) continue;
+      const Token& t = code[i + 2];
+      if (t.kind != TokKind::kIdent) continue;
+      for (const std::string_view f : kForbidden) {
+        if (t.text == f) {
+          report(ctx, t.line,
+                 "raw std::" + t.text +
+                     " — use util::Mutex/LockGuard/UniqueLock/CondVar "
+                     "(util/mutex.hpp) so the lock carries thread-safety "
+                     "annotations (docs/ANALYSIS.md)",
+                 out);
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_raw_mutex_check() {
+  return std::make_unique<RawMutexCheck>();
+}
+
+}  // namespace stkde::lint

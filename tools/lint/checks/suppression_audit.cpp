@@ -1,0 +1,81 @@
+/// suppression-audit — every `// stkde-lint: allow(<check>): <reason>`
+/// must name a registered check and carry a nonempty reason.
+///
+/// Origin: the gate is only as strong as its escape hatch. A suppression
+/// with a typo'd check name silently suppresses nothing (the finding it
+/// meant to excuse still fires — confusing) or, worse, a grammar slip
+/// makes the whole comment inert and the author believes the exception is
+/// on record when it is not. And a suppression without a reason is a
+/// decision without a review trail — the same policy .clang-tidy already
+/// enforces for NOLINT (docs/ANALYSIS.md). Findings from this check are
+/// themselves unsuppressible: fix the comment.
+
+#include <utility>
+
+#include "check_util.hpp"
+#include "checks.hpp"
+
+namespace stkde::lint {
+
+namespace {
+
+class SuppressionAuditCheck final : public Check {
+ public:
+  explicit SuppressionAuditCheck(std::vector<std::string> known)
+      : known_(std::move(known)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "suppression-audit";
+  }
+  [[nodiscard]] std::string_view rationale() const override {
+    return "allow() comments must name a real check and justify "
+           "themselves, or the escape hatch rots the gate";
+  }
+
+  void run(const FileContext& ctx, std::vector<Finding>& out) const override {
+    for (const Suppression& s : ctx.suppressions) {
+      if (s.malformed) {
+        report(ctx, s.line,
+               "malformed stkde-lint comment — expected "
+               "`// stkde-lint: allow(<check>): <reason>` (got: " +
+                   s.raw + ")",
+               out);
+        continue;
+      }
+      bool known = false;
+      for (const std::string& k : known_) {
+        if (s.check == k) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        report(ctx, s.line,
+               "allow(" + s.check +
+                   ") names no registered check — run stkde-lint "
+                   "--list-checks for the catalog",
+               out);
+        continue;
+      }
+      if (s.reason.empty()) {
+        report(ctx, s.line,
+               "allow(" + s.check +
+                   ") has no reason — a suppression is a reviewed "
+                   "decision; say why the finding does not apply",
+               out);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> known_;
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_suppression_audit_check(
+    std::vector<std::string> known_checks) {
+  return std::make_unique<SuppressionAuditCheck>(std::move(known_checks));
+}
+
+}  // namespace stkde::lint

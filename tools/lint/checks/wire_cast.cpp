@@ -1,0 +1,52 @@
+/// wire-cast — reinterpret_cast is forbidden in the wire codec
+/// (src/serve/wire.cpp, src/serve/wire.hpp).
+///
+/// Origin: PR 8's misaligned-decode audit. Wire frames arrive at arbitrary
+/// buffer offsets; a reinterpret_cast load of a u32/float from the payload
+/// is undefined behavior on misaligned addresses (and a strict-aliasing
+/// violation everywhere). The codec's contract — pinned by
+/// ServeWireRoundTrip.DecodeFromMisalignedBuffersIsExact — is that every
+/// multi-byte read goes through the Reader byte helpers (shift-assembled,
+/// alignment-free) and every write through put_*. This check keeps casts
+/// from creeping back in when new message types are added; even the
+/// byte→char cases must use iterator/memcpy forms so the rule stays
+/// absolute and reviewable at a glance.
+
+#include "check_util.hpp"
+#include "checks.hpp"
+
+namespace stkde::lint {
+
+namespace {
+
+class WireCastCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "wire-cast"; }
+  [[nodiscard]] std::string_view rationale() const override {
+    return "reinterpret_cast in the wire codec risks misaligned/aliasing "
+           "UB on hostile frames — decode via Reader helpers, encode via "
+           "put_*";
+  }
+
+  void run(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is("src/serve/wire.cpp") && !ctx.is("src/serve/wire.hpp"))
+      return;
+    for (const Token& t : ctx.code) {
+      if (is_ident(t, "reinterpret_cast")) {
+        report(ctx, t.line,
+               "reinterpret_cast in the wire codec — use the Reader byte "
+               "helpers / std::memcpy / iterator ranges (misaligned decode "
+               "contract, docs/SERVE.md)",
+               out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_wire_cast_check() {
+  return std::make_unique<WireCastCheck>();
+}
+
+}  // namespace stkde::lint

@@ -1,0 +1,165 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lexer.hpp"
+#include "suppression.hpp"
+
+namespace stkde::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return in.good() || in.eof();
+}
+
+/// Repo-relative path with forward slashes; files outside the root keep
+/// their lexical form (they simply match no check's scope).
+std::string relative_path(const std::string& file, const std::string& root) {
+  std::error_code ec;
+  const fs::path abs_file = fs::weakly_canonical(file, ec);
+  if (ec) return fs::path(file).generic_string();
+  const fs::path abs_root = fs::weakly_canonical(root, ec);
+  if (ec) return abs_file.generic_string();
+  const fs::path rel = abs_file.lexically_relative(abs_root);
+  if (rel.empty() || *rel.begin() == "..") return abs_file.generic_string();
+  return rel.generic_string();
+}
+
+bool check_enabled(const Check& c, const std::vector<std::string>& only) {
+  if (only.empty()) return true;
+  return std::find(only.begin(), only.end(), std::string(c.name())) !=
+         only.end();
+}
+
+}  // namespace
+
+std::vector<std::string> collect_tree(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h")
+      out.push_back(it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> collect_compile_commands(const std::string& path,
+                                                  std::string* error) {
+  std::string json;
+  if (!read_file(path, &json)) {
+    if (error) *error = "cannot read " + path;
+    return {};
+  }
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while ((i = json.find("\"file\"", i)) != std::string::npos) {
+    i += 6;
+    while (i < json.size() && (json[i] == ' ' || json[i] == ':' ||
+                               json[i] == '\n' || json[i] == '\t'))
+      ++i;
+    if (i >= json.size() || json[i] != '"') continue;
+    ++i;
+    std::string f;
+    while (i < json.size() && json[i] != '"') {
+      if (json[i] == '\\' && i + 1 < json.size()) ++i;  // \" \\ \/ unescape
+      f += json[i++];
+    }
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+LintResult run_lint(const LintOptions& options) {
+  LintResult result;
+  const Registry registry = build_registry();
+  if (!options.only_checks.empty()) {
+    for (const std::string& want : options.only_checks) {
+      bool known = false;
+      for (const auto& c : registry)
+        if (std::string(c->name()) == want) known = true;
+      if (!known) result.errors.push_back("unknown check: " + want);
+    }
+    if (!result.errors.empty()) return result;
+  }
+  const bool all_checks = options.only_checks.empty();
+
+  for (const std::string& file : options.files) {
+    std::string src;
+    if (!read_file(file, &src)) {
+      result.errors.push_back("cannot read " + file);
+      continue;
+    }
+    ++result.files_scanned;
+
+    FileContext ctx;
+    ctx.path = relative_path(file, options.root);
+    for (Token& t : lex(src)) {
+      (t.kind == TokKind::kComment ? ctx.comments : ctx.code)
+          .push_back(std::move(t));
+    }
+    ctx.suppressions = parse_suppressions(ctx.comments);
+
+    std::vector<Finding> raw;
+    for (const auto& check : registry) {
+      if (check_enabled(*check, options.only_checks)) check->run(ctx, raw);
+    }
+
+    for (Finding& f : raw) {
+      bool suppressed = false;
+      if (f.check != "suppression-audit") {
+        for (Suppression& s : ctx.suppressions) {
+          if (!s.malformed && s.check == f.check && !s.reason.empty() &&
+              (s.line == f.line || s.line == f.line - 1)) {
+            s.used = true;
+            suppressed = true;
+          }
+        }
+      }
+      if (!suppressed) result.findings.push_back(std::move(f));
+    }
+
+    // Stale suppressions: only meaningful when every check ran (a subset
+    // run would see other checks' suppressions as unused).
+    if (all_checks) {
+      for (const Suppression& s : ctx.suppressions) {
+        if (s.malformed || s.reason.empty() || s.used) continue;
+        bool known = false;
+        for (const auto& c : registry)
+          if (std::string(c->name()) == s.check) known = true;
+        if (!known) continue;  // already reported by suppression-audit
+        result.findings.push_back(
+            Finding{ctx.path, s.line, "suppression-audit",
+                    "stale allow(" + s.check +
+                        ") — it suppresses nothing on this or the next "
+                        "line; delete it or move it to the finding"});
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return result;
+}
+
+}  // namespace stkde::lint

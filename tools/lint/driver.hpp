@@ -1,0 +1,44 @@
+#pragma once
+/// \file driver.hpp
+/// The lint driver: loads files, lexes them, runs the registered checks,
+/// applies suppressions, and reports. Exposed as a library so the selftest
+/// (selftest.cpp) can drive the exact production pipeline in-process over
+/// the fixture trees.
+
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace stkde::lint {
+
+struct LintOptions {
+  std::string root;                      ///< repo root for path scoping
+  std::vector<std::string> files;        ///< absolute or cwd-relative
+  std::vector<std::string> only_checks;  ///< empty = all registered checks
+};
+
+struct LintResult {
+  std::vector<Finding> findings;     ///< sorted by (file, line, check)
+  std::vector<std::string> errors;   ///< unreadable files, bad options
+  int files_scanned = 0;
+};
+
+/// Run the registered checks over options.files. Suppression semantics:
+/// a well-formed allow(<check>) on the finding's line or the line directly
+/// above suppresses it; suppression-audit findings are never suppressible.
+/// When all checks run (only_checks empty), a suppression that suppressed
+/// nothing is itself reported (stale suppressions rot into lies).
+LintResult run_lint(const LintOptions& options);
+
+/// Recursively collect the C++ sources (*.cpp, *.cc, *.hpp, *.h) under
+/// \p dir, sorted, for --tree mode.
+std::vector<std::string> collect_tree(const std::string& dir);
+
+/// Extract the "file" entries from a compile_commands.json (naive scan —
+/// enough for CMake's generator output). Headers are not in the database;
+/// --tree is the canonical whole-tree mode.
+std::vector<std::string> collect_compile_commands(const std::string& path,
+                                                  std::string* error);
+
+}  // namespace stkde::lint

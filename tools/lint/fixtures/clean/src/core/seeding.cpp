@@ -1,0 +1,32 @@
+// Negative fixture: determinism must stay silent on seeded RNG, monotonic
+// timing confined to diagnostics, and integral atomics. Expected: 0
+// findings.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace stkde::core {
+
+std::uint64_t good_accumulate_count(const double* xs, int n, double cut) {
+  std::atomic<std::uint64_t> above{0};  // integral atomic: order-free
+  for (int i = 0; i < n; ++i)
+    if (xs[i] > cut) above.fetch_add(1, std::memory_order_relaxed);
+  return above.load();
+}
+
+double good_jitter(std::uint64_t seed) {
+  util::Rng rng(seed);  // seeded: same seed, same stream, every run
+  return rng.uniform();
+}
+
+double good_duration_diagnostic() {
+  // steady_clock for *measuring* is fine — it never feeds the estimate.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace stkde::core

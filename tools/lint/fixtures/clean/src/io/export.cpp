@@ -1,0 +1,38 @@
+// Negative fixture: checked-io must stay silent on the checked_* helpers,
+// on read-side stdio, and on properly suppressed best-effort writes (both
+// same-line and line-above placements). Expected: 0 findings.
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/checked_io.hpp"
+
+namespace stkde::io {
+
+void good_export(const float* data, std::size_t n, std::FILE* f,
+                 const std::string& path) {
+  checked_write(f, data, n * sizeof(float), "export", path);
+  checked_flush(f, "export", path);
+  checked_fsync(f, "export", path);
+}
+
+void good_stream_export(const char* bytes, std::streamsize n,
+                        std::ostream& out, const std::string& path) {
+  checked_stream_write(out, bytes, static_cast<std::size_t>(n), "export",
+                       path);
+}
+
+void read_side_is_fine(std::FILE* f, float* buf, std::size_t n) {
+  // Reads don't lose durable data; only the write side is gated.
+  if (std::fread(buf, sizeof(float), n, f) != n) std::rewind(f);
+}
+
+void suppressed_best_effort(const char* bytes, std::streamsize n,
+                            const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes, n);  // stkde-lint: allow(checked-io): best-effort debug dump; stream state checked by caller
+  // stkde-lint: allow(checked-io): best-effort trailer on a debug dump
+  out.write(bytes, n);
+}
+
+}  // namespace stkde::io

@@ -1,0 +1,31 @@
+#pragma once
+// Negative fixture: float-key must accept both blessed normalization
+// spellings — the inline `+ 0.0` idiom and the normalize_key helper — and
+// ignore float-target bit_casts (deserialization direction). Expected: 0
+// findings.
+
+#include <bit>
+#include <cstdint>
+
+namespace stkde::kernels {
+
+struct GoodKey {
+  std::uint64_t kx, ky;
+};
+
+inline std::uint64_t normalize_key_local(double v) {
+  return std::bit_cast<std::uint64_t>(v + 0.0);  // the idiom itself
+}
+
+inline GoodKey make_key(double fx, double fy) {
+  GoodKey k;
+  k.kx = std::bit_cast<std::uint64_t>(fx + 0.0);
+  k.ky = normalize_key_local(fy);
+  return k;
+}
+
+inline double float_target_is_fine(std::uint64_t bits) {
+  return std::bit_cast<double>(bits);  // int→float: no keying, no sign trap
+}
+
+}  // namespace stkde::kernels

@@ -1,0 +1,28 @@
+// Negative fixture: the util/mutex.hpp wrappers are the blessed spelling —
+// raw-mutex must stay silent here. Expected: 0 findings.
+
+#include "util/mutex.hpp"
+
+namespace stkde::sched {
+
+class GoodShard {
+ public:
+  void push(int v) {
+    util::LockGuard lk(mu_);
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int wait_nonzero() {
+    util::UniqueLock lk(mu_);
+    while (value_ == 0) cv_.wait(lk);
+    return value_;
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int value_ STKDE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace stkde::sched

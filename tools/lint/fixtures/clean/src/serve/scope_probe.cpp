@@ -1,0 +1,21 @@
+// Negative fixture: scoping proof. This file sits OUTSIDE every check's
+// jurisdiction for the patterns it contains — checked-io patrols only
+// src/io/ + src/core/, determinism only src/core/ + src/kernels/ +
+// src/partition/, wire-cast only serve/wire.{cpp,hpp}. A scope regression
+// that widens a check trips this fixture. Expected: 0 findings.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stkde::serve {
+
+void metrics_dump(std::FILE* f, double p99) {
+  std::fprintf(f, "p99_ms=%f\n", p99);  // serve/: not a durability dir
+  std::fflush(f);
+}
+
+int jitter_percent() {
+  return rand() % 100;  // serve/: not the deterministic core
+}
+
+}  // namespace stkde::serve

@@ -1,0 +1,28 @@
+// Negative fixture: wire-cast must stay silent on the blessed decode
+// forms — shift-assembled byte reads, memcpy, and iterator-range string
+// construction. Expected: 0 findings.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace stkde::serve {
+
+std::uint32_t good_decode_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+float good_decode_f32(const std::uint8_t* p) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, p, sizeof(bits));
+  return std::bit_cast<float>(bits);
+}
+
+std::string good_decode_string(const std::uint8_t* p, std::size_t n) {
+  return std::string(p, p + n);  // iterator range: no cast, no aliasing
+}
+
+}  // namespace stkde::serve

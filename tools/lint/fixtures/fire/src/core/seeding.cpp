@@ -1,0 +1,27 @@
+// Positive fixture: determinism must fire on wall clocks, the C PRNG
+// family, random_device, and floating-point atomics inside the
+// deterministic core. Expected: 5 determinism findings (lines marked FIRE).
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace stkde::core {
+
+double bad_accumulate(const double* xs, int n) {
+  std::atomic<double> sum{0.0};  // FIRE determinism (FP atomic)
+  for (int i = 0; i < n; ++i) sum.store(sum.load() + xs[i]);
+  return sum.load();
+}
+
+unsigned bad_seed() {
+  std::srand(42);  // FIRE determinism
+  const auto wall =
+      std::chrono::system_clock::now().time_since_epoch();  // FIRE determinism
+  std::random_device rd;  // FIRE determinism
+  return static_cast<unsigned>(rand()) ^ rd() ^  // FIRE determinism (rand)
+         static_cast<unsigned>(wall.count());
+}
+
+}  // namespace stkde::core

@@ -1,0 +1,30 @@
+// Positive fixture: suppression-audit must reject unknown check names,
+// empty reasons, malformed grammar, and stale suppressions — and a valid
+// suppression must NOT silence a different check's finding.
+// Expected: 5 suppression-audit findings (unknown name, empty reason,
+// malformed grammar, stale, and the wrong-check suppression below — which
+// is itself stale) + 1 checked-io finding.
+
+#include <cstdio>
+
+namespace stkde::core {
+
+// stkde-lint: allow(no-such-check): the check name is a typo  [AUDIT fires]
+inline void a() {}
+
+// stkde-lint: allow(raw-mutex):
+inline void b() {}  // empty reason above  [AUDIT fires]
+
+// stkde-lint allow(raw-mutex): missing colon after the marker [AUDIT fires]
+inline void c() {}
+
+// stkde-lint: allow(determinism): stale — nothing fires below  [AUDIT fires]
+inline void d() {}
+
+// A well-formed suppression for the WRONG check must not save the line:
+// stkde-lint: allow(determinism): wrong check on purpose
+inline void e(const char* bytes, std::FILE* f) {
+  fwrite(bytes, 1, 1, f);  // still FIRES checked-io
+}
+
+}  // namespace stkde::core

@@ -1,0 +1,23 @@
+// Positive fixture: checked-io must fire on raw write-side stdio in the
+// durability-relevant dirs — FILE* write calls and ostream .write().
+// Expected: 5 checked-io findings (lines marked FIRE).
+
+#include <cstdio>
+#include <fstream>
+
+namespace stkde::io {
+
+void bad_export(const float* data, std::size_t n, std::FILE* f) {
+  std::fwrite(data, sizeof(float), n, f);  // FIRE checked-io
+  std::fflush(f);                          // FIRE checked-io
+  fsync(fileno(f));                        // FIRE checked-io
+  std::fprintf(f, "trailer\n");            // FIRE checked-io
+}
+
+void bad_stream_export(const char* bytes, std::streamsize n,
+                       const char* path) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes, n);  // FIRE checked-io
+}
+
+}  // namespace stkde::io

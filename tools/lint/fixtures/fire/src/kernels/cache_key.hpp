@@ -1,0 +1,23 @@
+#pragma once
+// Positive fixture: float-key must fire on integral bit_cast keying that
+// skips the ±0.0 normalization — the PR 5 cache-slot aliasing bug, as it
+// was originally written. Expected: 2 float-key findings (lines marked
+// FIRE).
+
+#include <bit>
+#include <cstdint>
+
+namespace stkde::kernels {
+
+struct BadKey {
+  std::uint64_t kx, ky;
+};
+
+inline BadKey make_key(double fx, float fy) {
+  BadKey k;
+  k.kx = std::bit_cast<std::uint64_t>(fx);  // FIRE float-key (-0.0 aliases)
+  k.ky = std::bit_cast<std::uint32_t>(fy);  // FIRE float-key
+  return k;
+}
+
+}  // namespace stkde::kernels

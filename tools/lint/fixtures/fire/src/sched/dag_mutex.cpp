@@ -1,0 +1,32 @@
+// Positive fixture: raw-mutex must fire on every std synchronization
+// primitive used outside util/mutex.hpp. Fixtures are lexed, never
+// compiled, but stay plausible C++ so the patterns are honest.
+// Expected: 5 raw-mutex findings (lines marked FIRE; the lock_guard line
+// counts twice — lock_guard and its mutex template argument).
+
+#include <condition_variable>
+#include <mutex>
+
+namespace stkde::sched {
+
+class BadShard {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lk(mu_);  // FIRE raw-mutex (x2: lock_guard, mutex)
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int wait_nonzero() {
+    std::unique_lock lk(mu_);  // FIRE raw-mutex
+    while (value_ == 0) cv_.wait(lk);
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;  // FIRE raw-mutex
+  std::condition_variable cv_;  // FIRE raw-mutex
+  int value_ = 0;
+};
+
+}  // namespace stkde::sched

@@ -1,0 +1,18 @@
+// Positive fixture: wire-cast must fire on any reinterpret_cast in the
+// wire codec — this is the misaligned-load pattern the Reader helpers
+// exist to prevent. Expected: 2 wire-cast findings (lines marked FIRE).
+
+#include <cstdint>
+#include <string>
+
+namespace stkde::serve {
+
+std::uint32_t bad_decode_u32(const std::uint8_t* p) {
+  return *reinterpret_cast<const std::uint32_t*>(p);  // FIRE wire-cast
+}
+
+std::string bad_decode_string(const std::uint8_t* p, std::size_t n) {
+  return std::string(reinterpret_cast<const char*>(p), n);  // FIRE wire-cast
+}
+
+}  // namespace stkde::serve

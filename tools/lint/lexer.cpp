@@ -1,0 +1,166 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace stkde::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Tokens run() {
+    Tokens out;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i_;
+      } else if (c == '/' && peek(1) == '/') {
+        out.push_back(line_comment());
+      } else if (c == '/' && peek(1) == '*') {
+        out.push_back(block_comment());
+      } else if (c == 'R' && peek(1) == '"') {
+        out.push_back(raw_string());
+      } else if (c == '"') {
+        out.push_back(quoted(TokKind::kString, '"'));
+      } else if (c == '\'' && !prev_is_number(out)) {
+        out.push_back(quoted(TokKind::kChar, '\''));
+      } else if (ident_start(c)) {
+        out.push_back(ident());
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        out.push_back(number());
+      } else {
+        out.push_back(punct());
+      }
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  /// Digit separators ("1'000'000") would otherwise lex the quote as a char
+  /// literal; a quote straight after a number token belongs to that number.
+  static bool prev_is_number(const Tokens& out) {
+    return !out.empty() && out.back().kind == TokKind::kNumber;
+  }
+
+  Token line_comment() {
+    const std::size_t start = i_;
+    const int line = line_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    return {TokKind::kComment, std::string(src_.substr(start, i_ - start)),
+            line};
+  }
+
+  Token block_comment() {
+    const std::size_t start = i_;
+    const int line = line_;
+    i_ += 2;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\n') ++line_;
+      if (src_[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      ++i_;
+    }
+    return {TokKind::kComment, std::string(src_.substr(start, i_ - start)),
+            line};
+  }
+
+  Token raw_string() {
+    const std::size_t start = i_;
+    const int line = line_;
+    i_ += 2;  // R"
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(') delim += src_[i_++];
+    const std::string close = ")" + delim + "\"";
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\n') ++line_;
+      if (src_.compare(i_, close.size(), close) == 0) {
+        i_ += close.size();
+        break;
+      }
+      ++i_;
+    }
+    return {TokKind::kString, std::string(src_.substr(start, i_ - start)),
+            line};
+  }
+
+  Token quoted(TokKind kind, char q) {
+    const std::size_t start = i_;
+    const int line = line_;
+    ++i_;
+    while (i_ < src_.size() && src_[i_] != q) {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) ++i_;
+      if (src_[i_] == '\n') ++line_;  // unterminated; keep line count right
+      ++i_;
+    }
+    if (i_ < src_.size()) ++i_;  // closing quote
+    return {kind, std::string(src_.substr(start, i_ - start)), line};
+  }
+
+  Token ident() {
+    const std::size_t start = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    return {TokKind::kIdent, std::string(src_.substr(start, i_ - start)),
+            line_};
+  }
+
+  Token number() {
+    const std::size_t start = i_;
+    // pp-number: digits, letters, dots, ' separators, and exponent signs.
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++i_;
+      } else if ((c == '+' || c == '-') && i_ > start &&
+                 (src_[i_ - 1] == 'e' || src_[i_ - 1] == 'E' ||
+                  src_[i_ - 1] == 'p' || src_[i_ - 1] == 'P')) {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    return {TokKind::kNumber, std::string(src_.substr(start, i_ - start)),
+            line_};
+  }
+
+  Token punct() {
+    // Two-character operators the checks key on stay single tokens; every
+    // other symbol is one token per character (checks never match them).
+    if ((src_[i_] == ':' && peek(1) == ':') ||
+        (src_[i_] == '-' && peek(1) == '>')) {
+      const std::size_t start = i_;
+      i_ += 2;
+      return {TokKind::kPunct, std::string(src_.substr(start, 2)), line_};
+    }
+    return {TokKind::kPunct, std::string(1, src_[i_++]), line_};
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Tokens lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace stkde::lint

@@ -1,0 +1,21 @@
+#pragma once
+/// \file lexer.hpp
+/// A small C++ lexer for stkde-lint: splits a translation unit into the
+/// token stream the checks pattern-match over. Comments are kept as tokens
+/// (they carry suppressions); string/char literals are kept opaque so their
+/// contents can never fake a finding; preprocessor lines lex as ordinary
+/// tokens (`#include <mutex>` yields '<' 'mutex' '>', which no check
+/// matches — every check keys on qualified or call-position identifiers).
+
+#include <string_view>
+
+#include "token.hpp"
+
+namespace stkde::lint {
+
+/// Lex \p src into tokens. Never throws on malformed input: an unterminated
+/// comment/literal is closed at end of file (lint must degrade gracefully
+/// on code the compiler would reject anyway).
+Tokens lex(std::string_view src);
+
+}  // namespace stkde::lint

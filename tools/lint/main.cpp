@@ -1,0 +1,169 @@
+/// stkde-lint — the project-invariant static analyzer (docs/LINT.md).
+///
+/// Usage:
+///   stkde-lint [--root DIR] [--json] [--check NAME]... [--list-checks]
+///              [--tree DIR]... [--compile-commands FILE] [FILE]...
+///
+/// Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error —
+/// shaped so CI and CTest gate on it directly, like run_tidy.sh.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver.hpp"
+
+namespace {
+
+using stkde::lint::Finding;
+using stkde::lint::LintOptions;
+using stkde::lint::LintResult;
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--root DIR] [--json] [--check NAME]... [--list-checks]\n"
+         "       [--tree DIR]... [--compile-commands FILE] [FILE]...\n"
+         "\n"
+         "  --root DIR            repo root for path scoping (default: .)\n"
+         "  --tree DIR            lint every *.cpp/*.cc/*.hpp/*.h under DIR\n"
+         "  --compile-commands F  lint the \"file\" entries of a CMake\n"
+         "                        compilation database (TUs only; use\n"
+         "                        --tree to cover headers)\n"
+         "  --check NAME          run only the named check (repeatable)\n"
+         "  --json                machine-readable findings on stdout\n"
+         "  --list-checks         print the check catalog and exit\n";
+  return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const LintResult& r) {
+  std::cout << "{\n  \"files_scanned\": " << r.files_scanned
+            << ",\n  \"clean\": " << (r.findings.empty() ? "true" : "false")
+            << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"file\": \"" << json_escape(f.file)
+              << "\", \"line\": " << f.line << ", \"check\": \""
+              << json_escape(f.check) << "\", \"message\": \""
+              << json_escape(f.message) << "\"}";
+  }
+  std::cout << (r.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void print_text(const LintResult& r) {
+  for (const Finding& f : r.findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+              << f.message << "\n";
+  }
+  std::cout << "stkde-lint: " << r.findings.size() << " finding(s) across "
+            << r.files_scanned << " file(s) scanned\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  options.root = ".";
+  bool json = false;
+  bool list_checks = false;
+  std::vector<std::string> trees;
+  std::string compile_commands;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return 2;
+      options.root = v;
+    } else if (arg == "--tree") {
+      const char* v = value("--tree");
+      if (v == nullptr) return 2;
+      trees.emplace_back(v);
+    } else if (arg == "--compile-commands") {
+      const char* v = value("--compile-commands");
+      if (v == nullptr) return 2;
+      compile_commands = v;
+    } else if (arg == "--check") {
+      const char* v = value("--check");
+      if (v == nullptr) return 2;
+      options.only_checks.emplace_back(v);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown option " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  if (list_checks) {
+    for (const auto& c : stkde::lint::build_registry())
+      std::cout << c->name() << "\n    " << c->rationale() << "\n";
+    return 0;
+  }
+
+  for (const std::string& t : trees) {
+    for (std::string& f : stkde::lint::collect_tree(t))
+      options.files.push_back(std::move(f));
+  }
+  if (!compile_commands.empty()) {
+    std::string err;
+    auto files = stkde::lint::collect_compile_commands(compile_commands, &err);
+    if (!err.empty()) {
+      std::cerr << argv[0] << ": " << err << "\n";
+      return 2;
+    }
+    for (std::string& f : files) options.files.push_back(std::move(f));
+  }
+  if (options.files.empty()) {
+    std::cerr << argv[0] << ": no input files\n";
+    return usage(argv[0]);
+  }
+
+  const LintResult result = stkde::lint::run_lint(options);
+  for (const std::string& e : result.errors)
+    std::cerr << argv[0] << ": " << e << "\n";
+  if (json)
+    print_json(result);
+  else
+    print_text(result);
+  if (!result.errors.empty()) return 2;
+  return result.findings.empty() ? 0 : 1;
+}

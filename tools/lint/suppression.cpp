@@ -1,0 +1,101 @@
+#include "suppression.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace stkde::lint {
+
+namespace {
+
+void skip_spaces(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+bool consume(std::string_view s, std::size_t& i, std::string_view lit) {
+  if (s.compare(i, lit.size(), lit) != 0) return false;
+  i += lit.size();
+  return true;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Try to parse one suppression starting at the "stkde-lint" occurrence.
+/// Returns a Suppression either way; .malformed tells which.
+Suppression parse_at(std::string_view body, std::size_t at, int line,
+                     std::string_view raw) {
+  Suppression s;
+  s.line = line;
+  s.raw = std::string(raw);
+  std::size_t i = at;
+  consume(body, i, "stkde-lint");
+  skip_spaces(body, i);
+  if (!consume(body, i, ":")) {
+    s.malformed = true;
+    return s;
+  }
+  skip_spaces(body, i);
+  if (!consume(body, i, "allow")) {
+    s.malformed = true;
+    return s;
+  }
+  skip_spaces(body, i);
+  if (!consume(body, i, "(")) {
+    s.malformed = true;
+    return s;
+  }
+  const std::size_t name_start = i;
+  while (i < body.size() &&
+         (std::isalnum(static_cast<unsigned char>(body[i])) != 0 ||
+          body[i] == '-' || body[i] == '_')) {
+    ++i;
+  }
+  s.check = std::string(body.substr(name_start, i - name_start));
+  skip_spaces(body, i);
+  if (s.check.empty() || !consume(body, i, ")")) {
+    s.malformed = true;
+    return s;
+  }
+  skip_spaces(body, i);
+  if (!consume(body, i, ":")) {
+    s.malformed = true;
+    return s;
+  }
+  s.reason = trim(body.substr(i));
+  return s;
+}
+
+}  // namespace
+
+std::vector<Suppression> parse_suppressions(const Tokens& comments) {
+  std::vector<Suppression> out;
+  for (const Token& c : comments) {
+    // Strip the comment markers so the grammar sees only the body.
+    std::string_view body = c.text;
+    if (body.size() >= 2 && body.substr(0, 2) == "//") {
+      body.remove_prefix(2);
+    } else if (body.size() >= 2 && body.substr(0, 2) == "/*") {
+      body.remove_prefix(2);
+      if (body.size() >= 2 && body.substr(body.size() - 2) == "*/")
+        body.remove_suffix(2);
+    }
+    const std::size_t at = body.find("stkde-lint");
+    if (at == std::string_view::npos) continue;
+    // Prose mentions ("… see the stkde-lint docs …") are not directives:
+    // only comments where the marker starts the body are parsed. A comment
+    // that starts with the marker but fails the grammar is malformed.
+    std::size_t lead = 0;
+    skip_spaces(body, lead);
+    if (lead != at) continue;
+    out.push_back(parse_at(body, at, c.line, c.text));
+  }
+  return out;
+}
+
+}  // namespace stkde::lint

@@ -1,0 +1,23 @@
+#pragma once
+/// \file suppression.hpp
+/// Parser for stkde-lint suppression comments. Grammar (docs/LINT.md):
+///
+///   // stkde-lint: allow(<check>): <reason>
+///
+/// placed on the offending line or on the line directly above it. The
+/// reason is mandatory — a suppression is a reviewed decision, and the
+/// justification must travel with the code. Comments that contain
+/// "stkde-lint" but do not parse are recorded as malformed so
+/// suppression-audit can reject typos (a misspelled allow() that silently
+/// suppressed nothing would defeat the whole gate).
+
+#include <vector>
+
+#include "check.hpp"
+
+namespace stkde::lint {
+
+/// Scan \p comments for suppression comments (well-formed and malformed).
+std::vector<Suppression> parse_suppressions(const Tokens& comments);
+
+}  // namespace stkde::lint

@@ -1,0 +1,31 @@
+#pragma once
+/// \file token.hpp
+/// Token model for stkde-lint's lexer. The analyzer works on a lexed token
+/// stream, not an AST: every project check (docs/LINT.md) is expressible as
+/// a pattern over identifiers, punctuation, and literals, which keeps the
+/// tool free of any LLVM/libclang dependency and fast enough to lint the
+/// whole tree on every ctest run.
+
+#include <string>
+#include <vector>
+
+namespace stkde::lint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords (reinterpret_cast, std, mutex, …)
+  kNumber,   ///< numeric literal, suffixes included ("0.0f", "0x7f", "1e-5")
+  kString,   ///< string literal, quotes included; raw strings collapsed
+  kChar,     ///< character literal, quotes included
+  kPunct,    ///< punctuation; "::" and "->" are single tokens
+  kComment,  ///< // or /* */ comment, markers included (suppression carrier)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based line of the token's first character
+};
+
+using Tokens = std::vector<Token>;
+
+}  // namespace stkde::lint

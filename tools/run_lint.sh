@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run stkde-lint — the project-invariant analyzer (docs/LINT.md) — over the
+# whole src/ tree. Whole-tree, not diff-gated: the tool lexes the entire
+# tree in well under a second, so unlike run_tidy.sh there is nothing to
+# amortize. The two gates are complementary: clang-tidy knows generic C++
+# bug patterns, stkde-lint knows THIS repo's invariants (annotated locking,
+# checked durable I/O, bitwise determinism, ±0.0 keying, wire casts).
+#
+# Usage:
+#   tools/run_lint.sh [build-dir] [extra stkde-lint args...]
+#
+#   build-dir  configured CMake build tree (default: build); created and
+#              configured if missing. The stkde-lint target is (re)built.
+#   extras     forwarded to stkde-lint, e.g. --json or --check raw-mutex
+#
+# Exit status is stkde-lint's: 0 clean, 1 unsuppressed findings, 2 error.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  echo "run_lint: ${BUILD_DIR} not configured; configuring." >&2
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+fi
+
+cmake --build "${BUILD_DIR}" --target stkde-lint -j "$(nproc)" >/dev/null
+
+exec "${BUILD_DIR}/tools/lint/stkde-lint" --root . --tree src "$@"

@@ -13,6 +13,11 @@
 #
 # Exit status is clang-tidy's: nonzero when any enabled check fires
 # (.clang-tidy sets WarningsAsErrors: '*'), so CI can gate on it directly.
+#
+# Companion gate: tools/run_lint.sh runs stkde-lint (docs/LINT.md), the
+# project-invariant analyzer — whole-tree where this script is diff-gated,
+# because lexing the full tree costs under a second. tidy knows generic
+# C++ bug patterns; stkde-lint knows this repo's rules. Run both.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
